@@ -1,0 +1,45 @@
+"""Ablation: big-int vs numpy uint64 simulation backends (DESIGN.md §4).
+
+The package standardizes on Python big-ints (one Python-level op per gate
+regardless of pattern count); this benchmark quantifies that choice
+against the vectorized numpy backend at several pattern widths.
+"""
+
+import pytest
+
+from repro.experiments import build_circuit
+from repro.sim import PatternSet, simulate
+from repro.sim import npsim
+
+CIRCUIT = "irs641"
+WIDTHS = (64, 1024, 8192)
+
+
+@pytest.fixture(scope="module")
+def circ():
+    return build_circuit(CIRCUIT)
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_bench_backend_bigint(benchmark, circ, width):
+    patterns = PatternSet.random(circ.num_inputs, width, seed=width)
+    benchmark(simulate, circ, patterns)
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_bench_backend_numpy(benchmark, circ, width):
+    patterns = PatternSet.random(circ.num_inputs, width, seed=width)
+    matrix = npsim.words_to_matrix(patterns.words, width)
+    benchmark(npsim.simulate_matrix, circ, matrix)
+
+
+def test_backends_agree(benchmark, circ):
+    patterns = PatternSet.random(circ.num_inputs, 512, seed=9)
+
+    def both():
+        a = simulate(circ, patterns)
+        b = npsim.simulate(circ, patterns)
+        assert a == b
+        return a
+
+    benchmark.pedantic(both, rounds=1, iterations=1)

@@ -1,0 +1,58 @@
+"""Dynamic test compaction study (the paper's Table 5 application).
+
+Generates test sets for one suite circuit under all six fault orders —
+including the static Fdecr/F0decr that the paper measured and then
+dropped from its table — and reports sizes, run times and PODEM effort.
+
+Run:  python examples/compaction_study.py [circuit]    (default irs298)
+"""
+
+import sys
+
+from repro.adi import ORDERS
+from repro.atpg import TestGenConfig, generate_tests
+from repro.experiments import ExperimentRunner
+from repro.utils.tables import render_table
+
+
+def main(circuit_name: str = "irs298"):
+    runner = ExperimentRunner(seed=2005)
+    prepared = runner.prepare(circuit_name)
+    print(f"{circuit_name}: {prepared.num_faults} collapsed faults, "
+          f"|U| = {prepared.selection.num_vectors}, "
+          f"ADI in {prepared.adi.adi_min_max()}")
+
+    rows = []
+    baseline = None
+    for order_name in ("orig", "decr", "0decr", "dynm", "0dynm", "incr0"):
+        permutation = ORDERS[order_name](prepared.adi)
+        ordered = [prepared.faults[i] for i in permutation]
+        result = generate_tests(
+            prepared.circuit, ordered, TestGenConfig(seed=2005)
+        )
+        if order_name == "orig":
+            baseline = result.num_tests
+        rows.append((
+            order_name,
+            result.num_tests,
+            f"{result.num_tests / baseline:.2f}",
+            f"{result.fault_coverage():.1%}",
+            result.podem_calls,
+            result.backtracks,
+            f"{result.runtime_seconds:.2f}s",
+        ))
+
+    print()
+    print(render_table(
+        ["order", "tests", "vs orig", "coverage", "podem", "backtracks",
+         "time"],
+        rows,
+        title=f"Test compaction by fault ordering on {circuit_name}",
+    ))
+    print("\nReading: the ADI-based orders (decr/0decr/dynm/0dynm) need "
+          "fewer tests than orig;\nincr0 — targeting low-ADI faults "
+          "first — wastes tests, confirming the index carries signal.")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "irs298")

@@ -1,0 +1,49 @@
+"""Quickstart: the whole ADI flow on a small built-in circuit.
+
+Pipeline (exactly the paper's): collapse the stuck-at faults, pick the
+random vector set U, compute the accidental detection index, order the
+fault list, and run deterministic test generation with fault dropping.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.adi import ORDERS, compute_adi, select_u
+from repro.atpg import TestGenConfig, generate_tests
+from repro.circuit import lion_like
+from repro.faults import collapsed_fault_list
+
+
+def main():
+    circ = lion_like()
+    print(f"circuit: {circ.name} — {circ.num_inputs} inputs, "
+          f"{circ.num_gates} gates, {circ.num_outputs} outputs")
+
+    # 1. Target faults: collapsed single stuck-at faults.
+    faults = collapsed_fault_list(circ)
+    print(f"target faults (collapsed): {len(faults)}")
+
+    # 2. U: random vectors until ~90% coverage (here the circuit is tiny,
+    #    so a handful of vectors suffice).
+    selection = select_u(circ, faults, seed=42)
+    print(f"|U| = {selection.num_vectors} vectors, "
+          f"coverage of U = {selection.coverage:.1%}")
+
+    # 3. ADI per fault, from no-dropping fault simulation of U.
+    adi = compute_adi(circ, faults, selection.patterns)
+    lo, hi = adi.adi_min_max()
+    print(f"ADI range over detected faults: {lo} .. {hi}")
+
+    # 4+5. Order the faults and generate tests, one order at a time.
+    print(f"\n{'order':8s} {'tests':>6s} {'coverage':>9s}")
+    for order_name in ("orig", "dynm", "0dynm", "incr0"):
+        permutation = ORDERS[order_name](adi)
+        ordered = [faults[i] for i in permutation]
+        result = generate_tests(circ, ordered, TestGenConfig(seed=42))
+        print(f"{order_name:8s} {result.num_tests:6d} "
+              f"{result.fault_coverage():9.1%}")
+
+    print("\nExpected shape: 0dynm smallest, incr0 largest.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The sandbox this repo targets ships setuptools without the ``wheel``
+package, so PEP 517 editable installs (which must build a wheel) fail.
+This shim lets ``pip install -e . --no-build-isolation --no-use-pep517``
+fall back to setuptools develop mode.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

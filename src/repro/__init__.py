@@ -1,0 +1,73 @@
+"""repro — reproduction of "The Accidental Detection Index as a Fault
+Ordering Heuristic for Full-Scan Circuits" (Pomeranz & Reddy, DATE 2005).
+
+The package layers a complete combinational test-generation stack:
+
+* :mod:`repro.circuit`  — netlists, ``.bench`` I/O, compilation, synthetic
+  benchmark generation, full-scan extraction, redundancy removal;
+* :mod:`repro.sim`      — bit-parallel and 3-valued logic simulation;
+* :mod:`repro.faults`   — stuck-at faults, universe, equivalence collapsing;
+* :mod:`repro.fsim`     — fault simulation (serial, PPSFP, dropping, n-detect);
+* :mod:`repro.atpg`     — SCOAP, PODEM, the ordered test-generation engine;
+* :mod:`repro.adi`      — the paper's contribution: the accidental
+  detection index and the fault orders built on it;
+* :mod:`repro.experiments` — harnesses regenerating every table and figure.
+
+Quickstart::
+
+    from repro.circuit import c17
+    from repro.faults import collapsed_fault_list
+    from repro.adi import select_u, compute_adi, ORDERS
+    from repro.atpg import generate_tests
+
+    circ = c17()
+    faults = collapsed_fault_list(circ)
+    u = select_u(circ, faults, seed=1)
+    adi = compute_adi(circ, faults, u.patterns)
+    order = ORDERS["0dynm"](adi)
+    result = generate_tests(circ, [faults[i] for i in order])
+    print(result.num_tests, result.fault_coverage())
+"""
+
+from repro import (
+    adi,
+    atpg,
+    circuit,
+    diagnosis,
+    experiments,
+    faults,
+    fsim,
+    sim,
+    utils,
+)
+from repro.errors import (
+    AtpgError,
+    BenchParseError,
+    CircuitStructureError,
+    ExperimentError,
+    FaultModelError,
+    ReproError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AtpgError",
+    "BenchParseError",
+    "CircuitStructureError",
+    "ExperimentError",
+    "FaultModelError",
+    "ReproError",
+    "SimulationError",
+    "__version__",
+    "adi",
+    "atpg",
+    "circuit",
+    "diagnosis",
+    "experiments",
+    "faults",
+    "fsim",
+    "sim",
+    "utils",
+]

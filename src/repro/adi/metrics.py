@@ -1,0 +1,99 @@
+"""Fault-coverage-curve metrics (paper Section 4, Table 7, Figure 1).
+
+Given a test set ``T = <t1 .. tk>`` and the cumulative detected-fault
+counts ``n(i)`` (``n(0) = 0``), the paper's steepness summary is the
+expected number of tests applied until a faulty chip is detected::
+
+    AVE = ( sum_i  i * [n(i) - n(i-1)] ) / n(k)
+
+A *lower* AVE means a steeper curve: faults (and hence defects) are
+caught earlier in the test-application process.  Table 7 reports
+``AVE_ord / AVE_orig``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.circuit.flatten import CompiledCircuit
+from repro.errors import ExperimentError
+from repro.faults.model import Fault
+from repro.fsim.dropping import coverage_curve
+from repro.sim.patterns import PatternSet
+
+
+def ave_from_curve(curve: Sequence[int]) -> float:
+    """The AVE metric from a cumulative coverage curve ``n(1..k)``.
+
+    Raises when the curve detects nothing (AVE is undefined then).
+    """
+    if not curve:
+        raise ExperimentError("empty coverage curve")
+    total = curve[-1]
+    if total <= 0:
+        raise ExperimentError("coverage curve detects no faults")
+    weighted = 0
+    previous = 0
+    for i, value in enumerate(curve, start=1):
+        if value < previous:
+            raise ExperimentError("coverage curve must be non-decreasing")
+        weighted += i * (value - previous)
+        previous = value
+    return weighted / total
+
+
+@dataclass(frozen=True)
+class CurveReport:
+    """A test set's coverage curve plus its summary statistics."""
+
+    curve: Tuple[int, ...]
+    total_faults: int
+
+    @property
+    def num_tests(self) -> int:
+        """Number of tests the curve spans."""
+        return len(self.curve)
+
+    @property
+    def num_detected(self) -> int:
+        """Faults detected by the full test set."""
+        return self.curve[-1] if self.curve else 0
+
+    @property
+    def ave(self) -> float:
+        """The AVE steepness metric (lower = steeper)."""
+        return ave_from_curve(self.curve)
+
+    def normalized_points(self) -> List[Tuple[float, float]]:
+        """(tests fraction, coverage fraction) points for plotting.
+
+        The x-axis is the test index as a fraction of this curve's own
+        length; Figure 1 rescales against the *largest* test set, which
+        the figure harness handles.
+        """
+        if not self.curve or not self.total_faults:
+            return []
+        k = len(self.curve)
+        return [
+            ((i + 1) / k, self.curve[i] / self.total_faults)
+            for i in range(k)
+        ]
+
+
+def curve_report(circ: CompiledCircuit, faults: Sequence[Fault],
+                 tests: PatternSet) -> CurveReport:
+    """Simulate ``tests`` in order and build a :class:`CurveReport`."""
+    curve = coverage_curve(circ, faults, tests)
+    return CurveReport(curve=tuple(curve), total_faults=len(faults))
+
+
+def ave_ratios(reports: dict, baseline: str = "orig") -> dict:
+    """``AVE_ord / AVE_orig`` for a dict of named :class:`CurveReport`.
+
+    The paper's Table 7 rows.  Raises if the baseline name is missing.
+    """
+    if baseline not in reports:
+        raise ExperimentError(f"baseline order {baseline!r} missing")
+    base = reports[baseline].ave
+    return {name: report.ave / base for name, report in reports.items()}

@@ -1,0 +1,80 @@
+"""Static fault orders (paper Section 3).
+
+Every function returns a permutation of ``range(len(result.faults))`` —
+positions into the original target list — so orders compose with
+:meth:`repro.faults.sets.FaultSet.reordered` and with the test-generation
+engine, which consumes reordered fault lists.
+
+Orders:
+
+* ``forig``   — the original order (identity);
+* ``fdecr``   — decreasing ADI, zero-ADI faults at the end;
+* ``f0decr``  — zero-ADI faults first, then decreasing ADI;
+* ``fincr0``  — increasing ADI over detected faults, zero-ADI at the end
+  (the paper's deliberately-bad order, used as a control);
+* ``fdynm`` / ``f0dynm`` — dynamic variants, in :mod:`repro.adi.dynamic`.
+
+Ties are broken by original position, making every order deterministic
+and stable (the paper's strict inequality ``ADI(fi) > ADI(fj)`` cannot
+hold in practice — equal indices are common).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.adi.index import AdiResult
+
+
+def forig(result: AdiResult) -> List[int]:
+    """The original fault order (identity permutation)."""
+    return list(range(len(result.faults)))
+
+
+def fdecr(result: AdiResult) -> List[int]:
+    """Decreasing ADI; zero-ADI (undetected-by-``U``) faults at the end.
+
+    Preferred for steep fault-coverage curves: it follows the accidental
+    detection indices as closely as possible.
+    """
+    indices = range(len(result.faults))
+    return sorted(indices, key=lambda i: (-int(result.adi[i]), i))
+
+
+def f0decr(result: AdiResult) -> List[int]:
+    """Zero-ADI faults first (original order), then decreasing ADI.
+
+    Preferred for small test sets: hard-to-detect faults — the ones
+    unlikely to be detected accidentally — are targeted before their
+    tests could be wasted.
+    """
+    zeros = [i for i in range(len(result.faults)) if result.adi[i] == 0]
+    rest = sorted(
+        (i for i in range(len(result.faults)) if result.adi[i] != 0),
+        key=lambda i: (-int(result.adi[i]), i),
+    )
+    return zeros + rest
+
+
+def fincr0(result: AdiResult) -> List[int]:
+    """Increasing ADI over detected faults; zero-ADI at the end.
+
+    The paper's adversarial control: expected to give the *largest* test
+    sets, confirming that the index carries signal.
+    """
+    detected = sorted(
+        (i for i in range(len(result.faults)) if result.adi[i] != 0),
+        key=lambda i: (int(result.adi[i]), i),
+    )
+    zeros = [i for i in range(len(result.faults)) if result.adi[i] == 0]
+    return detected + zeros
+
+
+#: Registry used by the experiment harness; dynamic orders are added by
+#: :mod:`repro.adi.dynamic` at import time (see ``repro.adi.__init__``).
+STATIC_ORDERS = {
+    "orig": forig,
+    "decr": fdecr,
+    "0decr": f0decr,
+    "incr0": fincr0,
+}

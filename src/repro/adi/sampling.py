@@ -1,0 +1,101 @@
+"""Selection of the input-vector set ``U`` (paper Section 4).
+
+The paper's procedure: start from 10 000 random input vectors, simulate
+them with fault dropping, and keep only the first ``N`` vectors where
+``N`` is the point at which approximately 90% of the circuit faults are
+detected (or all 10 000 when 90% is never reached).  The accidental
+detection indices are then computed over those ``N`` vectors only.
+
+The optional ``prune_useless`` flag applies the paper's speed-up note:
+vectors that detect no new fault during the dropping simulation can be
+removed from ``U`` before the (more expensive) no-dropping simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.circuit.flatten import CompiledCircuit
+from repro.errors import SimulationError
+from repro.faults.model import Fault
+from repro.fsim.dropping import DropSimResult, drop_simulate
+from repro.sim.patterns import PatternSet
+
+
+@dataclass(frozen=True)
+class USelection:
+    """The selected vector set and how it was chosen.
+
+    ``patterns`` holds the first ``N`` vectors; ``detected_by_u`` is
+    ``FU``, the subset of target faults detected by them, in target-list
+    order.
+    """
+
+    patterns: PatternSet
+    detected_by_u: tuple
+    dropped_sim: DropSimResult
+    candidates_drawn: int
+
+    @property
+    def num_vectors(self) -> int:
+        """``N = |U|`` — the paper's Table 4 "vec" column."""
+        return self.patterns.num_patterns
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of target faults detected by ``U``."""
+        return self.dropped_sim.coverage
+
+
+def select_u(
+    circ: CompiledCircuit,
+    faults: Sequence[Fault],
+    seed: int = 0,
+    max_vectors: int = 10_000,
+    target_coverage: float = 0.90,
+    chunk_size: int = 64,
+    prune_useless: bool = False,
+    patterns: Optional[PatternSet] = None,
+) -> USelection:
+    """Choose ``U`` by the paper's truncated random-simulation procedure.
+
+    ``patterns`` overrides the random candidate pool (used by the worked
+    example, which supplies the 16 exhaustive vectors of ``lion``).
+    """
+    if not 0.0 < target_coverage <= 1.0:
+        raise SimulationError("target_coverage must be in (0, 1]")
+    if patterns is None:
+        patterns = PatternSet.random(circ.num_inputs, max_vectors, seed=seed)
+    elif patterns.num_inputs != circ.num_inputs:
+        raise SimulationError(
+            f"candidate pool has {patterns.num_inputs} inputs, "
+            f"circuit has {circ.num_inputs}"
+        )
+
+    result = drop_simulate(
+        circ, faults, patterns,
+        chunk_size=chunk_size,
+        stop_fraction=target_coverage,
+    )
+    selected = patterns.take(result.num_simulated)
+
+    if prune_useless and result.num_simulated:
+        useful = sorted(set(result.first_detection.values()))
+        remap = {old: new for new, old in enumerate(useful)}
+        selected = selected.select(useful)
+        result = DropSimResult(
+            total_faults=result.total_faults,
+            num_simulated=len(useful),
+            first_detection={
+                f: remap[idx] for f, idx in result.first_detection.items()
+            },
+        )
+
+    detected = tuple(f for f in faults if f in result.first_detection)
+    return USelection(
+        patterns=selected,
+        detected_by_u=detected,
+        dropped_sim=result,
+        candidates_drawn=patterns.num_patterns,
+    )

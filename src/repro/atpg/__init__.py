@@ -1,0 +1,58 @@
+"""Deterministic test generation: SCOAP, PODEM, SAT-ATPG, compaction."""
+
+from repro.atpg.compaction import (
+    CompactionResult,
+    detection_matrix,
+    greedy_cover_compaction,
+    reorder_by_detection,
+    reverse_order_compaction,
+)
+from repro.atpg.cop import Cop, compute_cop, random_resistant_faults
+from repro.atpg.engine import TestGenConfig, TestGenResult, generate_tests
+from repro.atpg.podem import PodemEngine, PodemResult, PodemStatus, podem
+from repro.atpg.random_fill import (
+    fill_constant,
+    fill_cube,
+    fill_random,
+    specified_fraction,
+)
+from repro.atpg.sat import (
+    CnfFormula,
+    DpllSolver,
+    SatResult,
+    SatStatus,
+    solve_cnf,
+)
+from repro.atpg.satgen import SatAtpg, sat_podem
+from repro.atpg.scoap import Scoap, compute_scoap
+
+__all__ = [
+    "CnfFormula",
+    "CompactionResult",
+    "Cop",
+    "DpllSolver",
+    "PodemEngine",
+    "PodemResult",
+    "PodemStatus",
+    "SatAtpg",
+    "SatResult",
+    "SatStatus",
+    "Scoap",
+    "TestGenConfig",
+    "TestGenResult",
+    "compute_cop",
+    "compute_scoap",
+    "detection_matrix",
+    "fill_constant",
+    "fill_cube",
+    "fill_random",
+    "generate_tests",
+    "greedy_cover_compaction",
+    "podem",
+    "random_resistant_faults",
+    "reorder_by_detection",
+    "reverse_order_compaction",
+    "sat_podem",
+    "solve_cnf",
+    "specified_fraction",
+]

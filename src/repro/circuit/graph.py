@@ -1,0 +1,92 @@
+"""Structural graph queries over compiled circuits.
+
+Forward cones drive fault simulation and X-path checks; transitive fanin
+drives ATPG search-space restriction; reachability-to-output drives dead
+logic trimming in the synthetic generator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from repro.circuit.flatten import CompiledCircuit
+
+
+def output_cone(circ: CompiledCircuit, node: int) -> List[int]:
+    """Nodes reachable forward from ``node`` (inclusive), in id order.
+
+    Because node ids are topological, returning them sorted gives a valid
+    propagation schedule for fault effects originating at ``node``.
+    """
+    seen: Set[int] = {node}
+    stack = [node]
+    while stack:
+        cur = stack.pop()
+        for nxt in circ.fanout[cur]:
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return sorted(seen)
+
+
+def transitive_fanin(circ: CompiledCircuit, nodes: Sequence[int]) -> List[int]:
+    """All nodes feeding (directly or not) any of ``nodes``, inclusive."""
+    seen: Set[int] = set(nodes)
+    stack = list(nodes)
+    while stack:
+        cur = stack.pop()
+        for src in circ.fanin[cur]:
+            if src not in seen:
+                seen.add(src)
+                stack.append(src)
+    return sorted(seen)
+
+
+def reaches_output(circ: CompiledCircuit) -> List[bool]:
+    """Per-node flag: does the node reach some primary output?
+
+    Computed by a reverse sweep in decreasing id order (reverse topological
+    order), so the cost is linear in circuit size.
+    """
+    reach = [False] * circ.num_nodes
+    for out in circ.outputs:
+        reach[out] = True
+    for node in range(circ.num_nodes - 1, -1, -1):
+        if reach[node]:
+            for src in circ.fanin[node]:
+                reach[src] = True
+    return reach
+
+
+def observable_outputs(circ: CompiledCircuit, node: int) -> List[int]:
+    """Primary outputs inside the forward cone of ``node``."""
+    return [n for n in output_cone(circ, node) if circ.is_output[n]]
+
+
+def fanout_count(circ: CompiledCircuit, node: int) -> int:
+    """Number of fanout pins driven by ``node`` (duplicates counted)."""
+    return len(circ.fanout[node])
+
+
+def fanout_stems(circ: CompiledCircuit) -> List[int]:
+    """Nodes with more than one fanout pin (fanout stems)."""
+    return [n for n in range(circ.num_nodes) if len(circ.fanout[n]) > 1]
+
+
+def depth_to_output(circ: CompiledCircuit) -> List[int]:
+    """Per-node minimum gate distance to a primary output (PO = 0).
+
+    Nodes that do not reach any output get ``-1``; a validated circuit
+    has none.
+    """
+    inf = circ.num_nodes + 1
+    depth = [inf] * circ.num_nodes
+    for out in circ.outputs:
+        depth[out] = 0
+    for node in range(circ.num_nodes - 1, -1, -1):
+        if depth[node] <= circ.num_nodes:
+            d = depth[node] + 1
+            for src in circ.fanin[node]:
+                if d < depth[src]:
+                    depth[src] = d
+    return [d if d <= circ.num_nodes else -1 for d in depth]

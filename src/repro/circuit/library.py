@@ -1,0 +1,179 @@
+"""Built-in circuits: the worked-example FSM logic, c17, and parametric
+families used throughout the tests and examples.
+
+``lion_like`` stands in for the combinational logic of the MCNC ``lion``
+finite-state machine used by the paper's Tables 1-3 walk-through (4 inputs:
+two primary inputs and two state bits; three outputs: the machine output
+and two next-state lines).  The exact MCNC netlist depends on an encoding
+and synthesis run we cannot reproduce, so this is a hand-written
+implementation with the same interface properties: 4 inputs, exhaustively
+simulable with 16 vectors, and a collapsed fault set of exactly 40 faults
+all detectable by the exhaustive vector set (verified in the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.circuit.flatten import CompiledCircuit, compile_circuit
+from repro.circuit.gate_types import GateType
+from repro.circuit.netlist import Circuit
+from repro.errors import ExperimentError
+
+
+def lion_like() -> CompiledCircuit:
+    """4-input FSM next-state/output logic for the paper's worked example.
+
+    Inputs ``x1 x0`` are the machine inputs and ``s1 s0`` the present
+    state; outputs are ``out`` plus next-state lines ``ns1 ns0``.  Vector
+    *u* in the tables is the decimal value of ``(x1 x0 s1 s0)`` with
+    ``x1`` the most significant bit, matching the paper's convention of
+    numbering the 16 exhaustive vectors 0..15.
+    """
+    c = Circuit(name="lion_like")
+    x1 = c.add_input("x1")
+    x0 = c.add_input("x0")
+    s1 = c.add_input("s1")
+    s0 = c.add_input("s0")
+
+    c.add_gate("chg", GateType.XOR, (x1, x0))      # machine inputs differ
+    c.add_gate("c1", GateType.AND, (s0, "chg"))    # carry into high state bit
+    c.add_gate("t1", GateType.XOR, (s1, "c1"))     # next high state bit
+    c.add_gate("t0", GateType.XOR, (s0, "chg"))    # next low state bit
+    c.add_gate("up", GateType.AND, (x1, s0))
+    c.add_gate("r", GateType.AND, (x1, x0, s1))    # rare product term
+    c.add_gate("o1", GateType.AND, (s1, s0))
+    c.add_gate("out", GateType.OR, ("o1", "up", "r"))
+
+    c.add_output("out")
+    c.add_output("t1")   # ns1
+    c.add_output("t0")   # ns0
+    return compile_circuit(c)
+
+
+def c17() -> CompiledCircuit:
+    """The ISCAS-85 c17 benchmark (public domain, 6 NAND gates)."""
+    c = Circuit(name="c17")
+    for name in ("G1", "G2", "G3", "G6", "G7"):
+        c.add_input(name)
+    c.add_gate("G10", GateType.NAND, ("G1", "G3"))
+    c.add_gate("G11", GateType.NAND, ("G3", "G6"))
+    c.add_gate("G16", GateType.NAND, ("G2", "G11"))
+    c.add_gate("G19", GateType.NAND, ("G11", "G7"))
+    c.add_gate("G22", GateType.NAND, ("G10", "G16"))
+    c.add_gate("G23", GateType.NAND, ("G16", "G19"))
+    c.add_output("G22")
+    c.add_output("G23")
+    return compile_circuit(c)
+
+
+def and_chain(length: int) -> CompiledCircuit:
+    """A chain of 2-input ANDs: ``length+1`` inputs, depth ``length``.
+
+    The deepest input stuck-at faults need all-ones side inputs to be
+    detected, making this the canonical random-pattern-resistant circuit
+    for tests.
+    """
+    if length < 1:
+        raise ExperimentError("and_chain needs length >= 1")
+    c = Circuit(name=f"and_chain_{length}")
+    prev = c.add_input("i0")
+    for i in range(length):
+        side = c.add_input(f"i{i + 1}")
+        prev = c.add_gate(f"a{i}", GateType.AND, (prev, side))
+    c.add_output(prev)
+    return compile_circuit(c)
+
+
+def xor_tree(num_inputs: int) -> CompiledCircuit:
+    """A balanced XOR tree; every fault is detected by half the patterns."""
+    if num_inputs < 2:
+        raise ExperimentError("xor_tree needs at least 2 inputs")
+    c = Circuit(name=f"xor_tree_{num_inputs}")
+    layer: List[str] = [c.add_input(f"i{k}") for k in range(num_inputs)]
+    gate_no = 0
+    while len(layer) > 1:
+        nxt: List[str] = []
+        for k in range(0, len(layer) - 1, 2):
+            gate_no += 1
+            nxt.append(c.add_gate(f"x{gate_no}", GateType.XOR,
+                                  (layer[k], layer[k + 1])))
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+    c.add_output(layer[0])
+    return compile_circuit(c)
+
+
+def mux2() -> CompiledCircuit:
+    """2:1 multiplexer — the smallest circuit with reconvergent fanout."""
+    c = Circuit(name="mux2")
+    sel = c.add_input("sel")
+    a = c.add_input("a")
+    b = c.add_input("b")
+    c.add_gate("nsel", GateType.NOT, (sel,))
+    c.add_gate("pa", GateType.AND, (a, "nsel"))
+    c.add_gate("pb", GateType.AND, (b, sel))
+    c.add_gate("y", GateType.OR, ("pa", "pb"))
+    c.add_output("y")
+    return compile_circuit(c)
+
+
+def ripple_adder(width: int) -> CompiledCircuit:
+    """A ``width``-bit ripple-carry adder built from XOR/AND/OR full adders."""
+    if width < 1:
+        raise ExperimentError("ripple_adder needs width >= 1")
+    c = Circuit(name=f"adder_{width}")
+    a_bits = [c.add_input(f"a{k}") for k in range(width)]
+    b_bits = [c.add_input(f"b{k}") for k in range(width)]
+    carry = c.add_input("cin")
+    for k in range(width):
+        c.add_gate(f"p{k}", GateType.XOR, (a_bits[k], b_bits[k]))
+        c.add_gate(f"s{k}", GateType.XOR, (f"p{k}", carry))
+        c.add_gate(f"g{k}", GateType.AND, (a_bits[k], b_bits[k]))
+        c.add_gate(f"t{k}", GateType.AND, (f"p{k}", carry))
+        carry = c.add_gate(f"c{k}", GateType.OR, (f"g{k}", f"t{k}"))
+        c.add_output(f"s{k}")
+    c.add_output(carry)
+    return compile_circuit(c)
+
+
+def redundant_demo() -> CompiledCircuit:
+    """A small circuit with a provably undetectable stuck-at fault.
+
+    ``y = OR(AND(a, b), AND(a, NOT(b)))`` simplifies to ``a``; several
+    faults on the reconvergent paths are undetectable, which exercises
+    redundancy identification and removal.
+    """
+    c = Circuit(name="redundant_demo")
+    a = c.add_input("a")
+    b = c.add_input("b")
+    c.add_gate("nb", GateType.NOT, (b,))
+    c.add_gate("p", GateType.AND, (a, b))
+    c.add_gate("q", GateType.AND, (a, "nb"))
+    c.add_gate("y", GateType.OR, ("p", "q"))
+    c.add_output("y")
+    return compile_circuit(c)
+
+
+_BUILTINS: Dict[str, Callable[[], CompiledCircuit]] = {
+    "lion_like": lion_like,
+    "c17": c17,
+    "mux2": mux2,
+    "redundant_demo": redundant_demo,
+}
+
+
+def builtin_names() -> List[str]:
+    """Names accepted by :func:`get_builtin`."""
+    return sorted(_BUILTINS)
+
+
+def get_builtin(name: str) -> CompiledCircuit:
+    """Fetch a built-in circuit by name."""
+    try:
+        return _BUILTINS[name]()
+    except KeyError:
+        raise ExperimentError(
+            f"unknown built-in circuit {name!r}; available: {builtin_names()}"
+        )

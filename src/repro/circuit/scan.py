@@ -1,0 +1,68 @@
+"""Full-scan extraction: sequential circuit -> combinational logic.
+
+In a full-scan design every flip-flop is on the scan chain, so for test
+generation purposes each DFF output is a *pseudo primary input* (its state
+can be scanned in) and each DFF data input is a *pseudo primary output*
+(its next-state value can be scanned out).  The paper's experiments run on
+"the combinational logic of ISCAS-89 and ITC-99 benchmarks", i.e. exactly
+this transformation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.circuit.netlist import Circuit
+from repro.errors import CircuitStructureError
+
+
+@dataclass
+class ScanInfo:
+    """Bookkeeping for a full-scan extraction.
+
+    ``pseudo_inputs`` and ``pseudo_outputs`` list the signals added for
+    each flip-flop, in DFF declaration order, so callers can map test
+    vectors back onto scan-chain content.
+    """
+
+    pseudo_inputs: List[str]
+    pseudo_outputs: List[str]
+
+
+def full_scan_extract(circuit: Circuit, suffix: str = "_scan") -> tuple[Circuit, ScanInfo]:
+    """Return the combinational logic of ``circuit`` under full scan.
+
+    Each DFF ``q = DFF(d)`` is removed; ``q`` becomes a primary input and
+    ``d`` is added to the primary outputs (once, even if several DFFs
+    sample the same signal — a shared next-state line only needs one
+    observation point).  Purely combinational circuits pass through as a
+    copy with empty scan info.
+    """
+    if not circuit.is_sequential:
+        return circuit.copy(), ScanInfo(pseudo_inputs=[], pseudo_outputs=[])
+
+    extracted = Circuit(name=circuit.name)
+    for signal in circuit.inputs:
+        extracted.add_input(signal)
+    pseudo_inputs: List[str] = []
+    for dff in circuit.dffs:
+        extracted.add_input(dff.name)
+        pseudo_inputs.append(dff.name)
+    for gate in circuit.gates:
+        extracted.add_gate(gate.name, gate.gtype, gate.inputs)
+
+    for signal in circuit.outputs:
+        extracted.add_output(signal)
+    pseudo_outputs: List[str] = []
+    for dff in circuit.dffs:
+        if dff.data_in in extracted.outputs:
+            continue
+        if extracted.driver_kind(dff.data_in) is None:
+            raise CircuitStructureError(
+                f"DFF {dff.name!r} samples undriven signal {dff.data_in!r}"
+            )
+        extracted.add_output(dff.data_in)
+        pseudo_outputs.append(dff.data_in)
+
+    return extracted, ScanInfo(pseudo_inputs=pseudo_inputs, pseudo_outputs=pseudo_outputs)

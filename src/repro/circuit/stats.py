@@ -1,0 +1,61 @@
+"""Circuit statistics for reports and generator calibration."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.circuit.flatten import CompiledCircuit
+from repro.circuit.gate_types import GateType
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Summary numbers for one compiled circuit."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    num_gates: int
+    max_level: int
+    num_stems: int          # nodes with fanout > 1
+    max_fanout: int
+    avg_fanin: float
+    gate_mix: Dict[str, int]
+
+    def as_row(self) -> tuple:
+        """Row form for :func:`repro.utils.tables.render_table`."""
+        return (
+            self.name,
+            self.num_inputs,
+            self.num_outputs,
+            self.num_gates,
+            self.max_level,
+            self.num_stems,
+            self.max_fanout,
+            round(self.avg_fanin, 2),
+        )
+
+
+def circuit_stats(circ: CompiledCircuit) -> CircuitStats:
+    """Compute :class:`CircuitStats` for ``circ``."""
+    mix: Counter = Counter()
+    fanin_total = 0
+    for node in circ.gate_nodes():
+        mix[circ.node_type[node].name] += 1
+        fanin_total += len(circ.fanin[node])
+    num_gates = circ.num_gates
+    stems = sum(1 for n in range(circ.num_nodes) if len(circ.fanout[n]) > 1)
+    max_fanout = max((len(circ.fanout[n]) for n in range(circ.num_nodes)), default=0)
+    return CircuitStats(
+        name=circ.name,
+        num_inputs=circ.num_inputs,
+        num_outputs=circ.num_outputs,
+        num_gates=num_gates,
+        max_level=circ.max_level,
+        num_stems=stems,
+        max_fanout=max_fanout,
+        avg_fanin=(fanin_total / num_gates) if num_gates else 0.0,
+        gate_mix=dict(mix),
+    )

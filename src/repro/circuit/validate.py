@@ -1,0 +1,92 @@
+"""Whole-circuit structural validation.
+
+``compile_circuit`` already rejects cycles and dangling references; this
+module adds the checks that are legal-but-suspicious (dead logic, unused
+inputs, constant outputs) and a strict mode used by the synthetic circuit
+generator's post-conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.circuit.flatten import CompiledCircuit
+from repro.circuit.graph import reaches_output
+from repro.errors import CircuitStructureError
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_circuit`: hard errors and soft warnings."""
+
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no hard errors were found."""
+        return not self.errors
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`CircuitStructureError` summarizing hard errors."""
+        if self.errors:
+            raise CircuitStructureError("; ".join(self.errors))
+
+
+def validate_circuit(circ: CompiledCircuit, strict: bool = False) -> ValidationReport:
+    """Check global invariants of a compiled circuit.
+
+    Hard errors: no outputs at all; a gate node typed INPUT; fanin ids not
+    strictly below the gate id (broken topological order).
+
+    Warnings (errors when ``strict``): nodes that do not reach any output
+    (dead logic), primary inputs with no fanout, duplicated fanin pins on
+    XOR-family gates (which makes them constants).
+    """
+    report = ValidationReport()
+
+    if not circ.outputs:
+        report.errors.append(f"{circ.name}: circuit has no primary outputs")
+
+    for node in circ.gate_nodes():
+        if circ.node_type[node].name == "INPUT":
+            report.errors.append(
+                f"{circ.name}: gate node {node} is typed INPUT"
+            )
+        for src in circ.fanin[node]:
+            if src >= node:
+                report.errors.append(
+                    f"{circ.name}: node {node} has fanin {src} >= its own id"
+                )
+
+    reach = reaches_output(circ)
+    dead = [n for n in range(circ.num_nodes) if not reach[n]]
+    if dead:
+        message = (
+            f"{circ.name}: {len(dead)} node(s) do not reach any output "
+            f"(first: {circ.describe_node(dead[0])})"
+        )
+        (report.errors if strict else report.warnings).append(message)
+
+    unused_inputs = [
+        n for n in range(circ.num_inputs) if not circ.fanout[n]
+    ]
+    if unused_inputs:
+        message = (
+            f"{circ.name}: {len(unused_inputs)} primary input(s) unused "
+            f"(first: {circ.names[unused_inputs[0]]})"
+        )
+        (report.errors if strict else report.warnings).append(message)
+
+    for node in circ.gate_nodes():
+        gtype = circ.node_type[node]
+        fanin = circ.fanin[node]
+        if gtype.name in ("XOR", "XNOR") and len(set(fanin)) < len(fanin):
+            message = (
+                f"{circ.name}: {circ.describe_node(node)} repeats a fanin; "
+                "XOR-family gates degenerate to constants"
+            )
+            (report.errors if strict else report.warnings).append(message)
+
+    return report

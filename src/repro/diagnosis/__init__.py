@@ -1,0 +1,25 @@
+"""Fault diagnosis: dictionaries and cause-effect candidate ranking."""
+
+from repro.diagnosis.dictionary import (
+    FaultDictionary,
+    PassFailDictionary,
+    build_dictionary,
+    build_pass_fail_dictionary,
+)
+from repro.diagnosis.locate import (
+    DiagnosisReport,
+    diagnose,
+    expected_tests_to_first_fail,
+    inject_and_observe,
+)
+
+__all__ = [
+    "DiagnosisReport",
+    "FaultDictionary",
+    "PassFailDictionary",
+    "build_dictionary",
+    "build_pass_fail_dictionary",
+    "diagnose",
+    "expected_tests_to_first_fail",
+    "inject_and_observe",
+]

@@ -1,0 +1,122 @@
+"""Fault dictionaries.
+
+A *fault dictionary* precomputes, for every modeled fault, which tests
+fail and (for the full dictionary) which outputs flip per failing test.
+Diagnosis then reduces to matching observed tester behaviour against the
+dictionary — the classical cause-effect approach.
+
+Two flavours:
+
+* :class:`PassFailDictionary` — per fault, the set of failing tests
+  (one bit per test).  Compact; enough for most candidate ranking.
+* :class:`FaultDictionary` — per fault and failing test, the exact
+  failing-output set (full response signature).  Larger but sharper.
+
+Connection to the paper: a steep fault-coverage curve (the paper's
+second application) minimizes the *expected index of the first failing
+test*, which is exactly what drives tester time per defective chip;
+:func:`repro.diagnosis.locate.expected_tests_to_first_fail` measures
+that quantity from a pass/fail dictionary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.circuit.flatten import CompiledCircuit
+from repro.errors import SimulationError
+from repro.faults.model import Fault
+from repro.fsim.parallel import detection_word
+from repro.sim.bitsim import simulate
+from repro.sim.patterns import PatternSet
+from repro.utils.bitvec import iter_bits
+
+
+@dataclass(frozen=True)
+class PassFailDictionary:
+    """Per-fault failing-test masks over a fixed test set."""
+
+    num_tests: int
+    faults: Tuple[Fault, ...]
+    fail_masks: Tuple[int, ...]  # bit t set = test t fails under fault
+
+    def failing_tests(self, fault: Fault) -> List[int]:
+        """Indices of tests that fail when ``fault`` is present."""
+        return list(iter_bits(self.fail_masks[self.faults.index(fault)]))
+
+    def detected_faults(self) -> List[Fault]:
+        """Faults the test set detects at all."""
+        return [
+            f for f, m in zip(self.faults, self.fail_masks) if m
+        ]
+
+
+@dataclass(frozen=True)
+class FaultDictionary:
+    """Full-response dictionary: failing outputs per (fault, test).
+
+    ``signatures[i]`` maps a failing test index to the frozen set of
+    failing primary-output positions for fault ``i``.
+    """
+
+    num_tests: int
+    faults: Tuple[Fault, ...]
+    signatures: Tuple[Dict[int, FrozenSet[int]], ...]
+
+    def signature(self, fault: Fault) -> Dict[int, FrozenSet[int]]:
+        """The full signature of one fault."""
+        return self.signatures[self.faults.index(fault)]
+
+
+def build_pass_fail_dictionary(circ: CompiledCircuit,
+                               faults: Sequence[Fault],
+                               tests: PatternSet) -> PassFailDictionary:
+    """Simulate every fault against the test set (no dropping)."""
+    if tests.num_inputs != circ.num_inputs:
+        raise SimulationError(
+            f"test set has {tests.num_inputs} inputs, "
+            f"circuit has {circ.num_inputs}"
+        )
+    good = simulate(circ, tests)
+    masks = tuple(
+        detection_word(circ, good, fault, tests.num_patterns)
+        for fault in faults
+    )
+    return PassFailDictionary(
+        num_tests=tests.num_patterns,
+        faults=tuple(faults),
+        fail_masks=masks,
+    )
+
+
+def build_dictionary(circ: CompiledCircuit, faults: Sequence[Fault],
+                     tests: PatternSet) -> FaultDictionary:
+    """Full-response dictionary via per-fault faulty output words."""
+    if tests.num_inputs != circ.num_inputs:
+        raise SimulationError(
+            f"test set has {tests.num_inputs} inputs, "
+            f"circuit has {circ.num_inputs}"
+        )
+    from repro.fsim.serial import output_response
+
+    signatures: List[Dict[int, FrozenSet[int]]] = []
+    good_responses = [
+        output_response(circ, tests.vector(t)) for t in range(len(tests))
+    ]
+    for fault in faults:
+        per_test: Dict[int, FrozenSet[int]] = {}
+        for t in range(tests.num_patterns):
+            faulty = output_response(circ, tests.vector(t), fault)
+            failing = frozenset(
+                k for k, (a, b) in enumerate(zip(good_responses[t], faulty))
+                if a != b
+            )
+            if failing:
+                per_test[t] = failing
+        signatures.append(per_test)
+    return FaultDictionary(
+        num_tests=tests.num_patterns,
+        faults=tuple(faults),
+        signatures=tuple(signatures),
+    )

@@ -1,0 +1,123 @@
+"""Cause-effect fault location from observed tester behaviour.
+
+Given the pass/fail (or full-response) behaviour of a failing chip over
+a test set, rank the modeled faults by how well their dictionary entries
+explain the observation:
+
+* an **exact match** scores highest;
+* a candidate whose predicted failures are a superset/subset of the
+  observation scores by overlap (defects are rarely perfect stuck-at
+  faults, so near-misses matter);
+* candidates predicting passes where the chip failed are penalized
+  hardest (a stuck-at fault cannot "un-fail" a test).
+
+The ranking metric is the standard match/mismatch count over tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.circuit.flatten import CompiledCircuit
+from repro.diagnosis.dictionary import (
+    FaultDictionary,
+    PassFailDictionary,
+)
+from repro.errors import SimulationError
+from repro.faults.model import Fault
+from repro.fsim.serial import output_response
+from repro.sim.patterns import PatternSet
+from repro.utils.bitvec import iter_bits, popcount
+
+
+@dataclass(frozen=True)
+class DiagnosisReport:
+    """Ranked candidate faults for one observed failure."""
+
+    observed_mask: int
+    candidates: Tuple[Tuple[Fault, float], ...]  # (fault, score), sorted
+
+    @property
+    def best(self) -> Optional[Fault]:
+        """Highest-scoring candidate (None when nothing matches at all)."""
+        return self.candidates[0][0] if self.candidates else None
+
+    def exact_matches(self) -> List[Fault]:
+        """Candidates whose predicted fail set equals the observation."""
+        return [f for f, score in self.candidates if score == 1.0]
+
+    def top(self, k: int) -> List[Fault]:
+        """The ``k`` best candidates."""
+        return [f for f, __ in self.candidates[:k]]
+
+
+def _match_score(predicted: int, observed: int, num_tests: int) -> float:
+    """Jaccard-style score with an extra penalty for predicted passes on
+    observed failures (impossible for a true single stuck-at match)."""
+    if predicted == observed:
+        return 1.0
+    intersection = popcount(predicted & observed)
+    union = popcount(predicted | observed)
+    if union == 0:
+        return 0.0
+    missed = popcount(observed & ~predicted)  # chip failed, fault predicts pass
+    score = intersection / union
+    return score * (0.5 ** missed)
+
+
+def diagnose(dictionary: PassFailDictionary, observed_mask: int,
+             max_candidates: int = 10) -> DiagnosisReport:
+    """Rank dictionary faults against an observed failing-test mask."""
+    if observed_mask < 0 or observed_mask >> dictionary.num_tests:
+        raise SimulationError("observed mask has bits outside the test set")
+    scored: List[Tuple[Fault, float]] = []
+    for fault, mask in zip(dictionary.faults, dictionary.fail_masks):
+        if mask == 0:
+            continue
+        score = _match_score(mask, observed_mask, dictionary.num_tests)
+        if score > 0.0:
+            scored.append((fault, score))
+    scored.sort(key=lambda pair: (-pair[1], pair[0]))
+    return DiagnosisReport(
+        observed_mask=observed_mask,
+        candidates=tuple(scored[:max_candidates]),
+    )
+
+
+def inject_and_observe(circ: CompiledCircuit, fault: Fault,
+                       tests: PatternSet) -> int:
+    """Simulate a defective chip: the failing-test mask of ``fault``.
+
+    The tester view of a chip carrying ``fault``: for each test, compare
+    the faulty response to the expected (fault-free) one.
+    """
+    observed = 0
+    for t in range(tests.num_patterns):
+        vector = tests.vector(t)
+        if output_response(circ, vector) != output_response(
+            circ, vector, fault
+        ):
+            observed |= 1 << t
+    return observed
+
+
+def expected_tests_to_first_fail(dictionary: PassFailDictionary,
+                                 faults: Optional[Sequence[Fault]] = None
+                                 ) -> float:
+    """Mean index (1-based) of the first failing test over detected faults.
+
+    This is the tester-time quantity the paper's steep-curve application
+    optimizes: with every defective chip equally likely to carry any
+    detected fault, a steeper test set fails sooner on average.  Lower is
+    better; compare across test-set orders.
+    """
+    chosen = faults if faults is not None else dictionary.faults
+    firsts: List[int] = []
+    for fault in chosen:
+        mask = dictionary.fail_masks[dictionary.faults.index(fault)]
+        if mask:
+            firsts.append(next(iter_bits(mask)) + 1)
+    if not firsts:
+        raise SimulationError("no detected faults to average over")
+    return sum(firsts) / len(firsts)

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Parsing, structural and algorithmic failures get their
+own subclasses because they are actionable in different ways (fix the input
+file vs. fix the circuit vs. raise a resource limit).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class BenchParseError(ReproError):
+    """Raised when an ISCAS-89 ``.bench`` file cannot be parsed.
+
+    Carries the offending line number (1-based) when known.
+    """
+
+    def __init__(self, message: str, line_no: int | None = None):
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+        self.line_no = line_no
+
+
+class CircuitStructureError(ReproError):
+    """Raised when a circuit violates structural invariants.
+
+    Examples: combinational cycles, dangling signals, a gate with no
+    inputs, duplicate signal definitions.
+    """
+
+
+class SimulationError(ReproError):
+    """Raised when simulation inputs are inconsistent with the circuit."""
+
+
+class FaultModelError(ReproError):
+    """Raised for invalid fault specifications (bad site, bad value)."""
+
+
+class AtpgError(ReproError):
+    """Raised when test generation is invoked with invalid arguments."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness for unknown circuits or bad config."""

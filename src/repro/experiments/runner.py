@@ -1,0 +1,128 @@
+"""Shared experiment plumbing: one place that runs the per-circuit flow.
+
+Tables 5, 6 and 7 and Figure 1 all consume the *same* test-generation
+runs (the paper reports different views of one experiment), so the runner
+memoizes every stage per (circuit, order):
+
+    circuit -> faults -> U selection -> ADI -> order -> test generation
+
+Everything is deterministic given the runner's seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.adi import ORDERS, AdiResult, USelection, compute_adi, select_u
+from repro.adi.metrics import CurveReport, curve_report
+from repro.atpg import TestGenConfig, TestGenResult, generate_tests
+from repro.circuit.flatten import CompiledCircuit
+from repro.errors import ExperimentError
+from repro.experiments import suite
+from repro.faults import collapse_faults
+from repro.faults.model import Fault
+
+#: Orders reported by the paper's Table 5, in column order.
+TABLE5_ORDERS: Tuple[str, ...] = ("orig", "dynm", "0dynm", "incr0")
+
+#: Orders plotted in Figure 1 / reported in Tables 6-7.
+CURVE_ORDERS: Tuple[str, ...] = ("orig", "dynm", "0dynm")
+
+
+@dataclass
+class PreparedCircuit:
+    """Everything up to (and including) the ADI computation."""
+
+    circuit: CompiledCircuit
+    faults: List[Fault]
+    selection: USelection
+    adi: AdiResult
+
+    @property
+    def num_faults(self) -> int:
+        """Size of the collapsed target fault list ``F``."""
+        return len(self.faults)
+
+
+class ExperimentRunner:
+    """Memoizing driver for the whole experiment pipeline."""
+
+    def __init__(self, seed: int = 2005,
+                 max_vectors: int = 10_000,
+                 target_coverage: float = 0.90,
+                 backtrack_limit: int = 200):
+        self.seed = seed
+        self.max_vectors = max_vectors
+        self.target_coverage = target_coverage
+        self.backtrack_limit = backtrack_limit
+        self._prepared: Dict[str, PreparedCircuit] = {}
+        self._testgen: Dict[Tuple[str, str], TestGenResult] = {}
+        self._curves: Dict[Tuple[str, str], CurveReport] = {}
+
+    # -- pipeline stages ------------------------------------------------------
+
+    def prepare(self, name: str) -> PreparedCircuit:
+        """Circuit + faults + ``U`` + ADI for one suite circuit (cached)."""
+        if name not in self._prepared:
+            circ = suite.build_circuit(name)
+            faults = list(collapse_faults(circ).representatives)
+            selection = select_u(
+                circ, faults,
+                seed=self.seed,
+                max_vectors=self.max_vectors,
+                target_coverage=self.target_coverage,
+            )
+            adi = compute_adi(circ, faults, selection.patterns)
+            self._prepared[name] = PreparedCircuit(
+                circuit=circ, faults=faults, selection=selection, adi=adi
+            )
+        return self._prepared[name]
+
+    def order_permutation(self, name: str, order: str) -> List[int]:
+        """The permutation a named order induces for one circuit."""
+        if order not in ORDERS:
+            raise ExperimentError(
+                f"unknown order {order!r}; available: {sorted(ORDERS)}"
+            )
+        prepared = self.prepare(name)
+        return ORDERS[order](prepared.adi)
+
+    def testgen(self, name: str, order: str) -> TestGenResult:
+        """Ordered test generation for (circuit, order), cached."""
+        key = (name, order)
+        if key not in self._testgen:
+            prepared = self.prepare(name)
+            permutation = self.order_permutation(name, order)
+            ordered = [prepared.faults[i] for i in permutation]
+            config = TestGenConfig(
+                backtrack_limit=self.backtrack_limit,
+                fill="random",
+                seed=self.seed,
+            )
+            self._testgen[key] = generate_tests(
+                prepared.circuit, ordered, config
+            )
+        return self._testgen[key]
+
+    def curve(self, name: str, order: str) -> CurveReport:
+        """Coverage curve of the generated test set, cached."""
+        key = (name, order)
+        if key not in self._curves:
+            prepared = self.prepare(name)
+            result = self.testgen(name, order)
+            self._curves[key] = curve_report(
+                prepared.circuit, prepared.faults, result.tests
+            )
+        return self._curves[key]
+
+    # -- convenience -----------------------------------------------------------
+
+    def orders_for(self, name: str,
+                   requested: Sequence[str] = TABLE5_ORDERS) -> List[str]:
+        """Filter orders the paper skips for the largest circuits."""
+        entry = suite.suite_entry(name)
+        return [
+            order for order in requested
+            if order != "incr0" or entry.run_incr0
+        ]

@@ -1,0 +1,79 @@
+"""Table 5: test-set sizes under the four fault orders.
+
+Columns, as published: circuit, then the number of generated tests for
+``Forig``, ``Fdynm``, ``F0dynm`` and ``Fincr0`` (the last omitted for the
+two largest circuits, as in the paper), plus the per-order average row.
+
+Expected shape (the paper's conclusions): ``0dynm`` smallest on average,
+``dynm`` smaller than ``orig``, ``incr0`` largest — confirming that the
+index carries signal in both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import TABLE5_ORDERS, ExperimentRunner
+from repro.experiments.suite import selected_circuits
+from repro.utils.tables import render_table
+
+
+@dataclass
+class Table5Row:
+    """Test counts per order for one circuit (None = not run)."""
+
+    circuit: str
+    tests: Dict[str, Optional[int]]
+
+
+def run_table5(runner: Optional[ExperimentRunner] = None,
+               circuits: Optional[Sequence[str]] = None,
+               orders: Sequence[str] = TABLE5_ORDERS) -> List[Table5Row]:
+    """Generate tests under every order for the selected circuits."""
+    runner = runner or ExperimentRunner()
+    rows: List[Table5Row] = []
+    for name in circuits or selected_circuits():
+        run_orders = runner.orders_for(name, orders)
+        tests: Dict[str, Optional[int]] = {}
+        for order in orders:
+            if order in run_orders:
+                tests[order] = runner.testgen(name, order).num_tests
+            else:
+                tests[order] = None
+        rows.append(Table5Row(circuit=name, tests=tests))
+    return rows
+
+
+def averages(rows: Sequence[Table5Row],
+             orders: Sequence[str] = TABLE5_ORDERS) -> Dict[str, Optional[float]]:
+    """Per-order average over circuits where the order ran."""
+    result: Dict[str, Optional[float]] = {}
+    for order in orders:
+        values = [
+            row.tests[order] for row in rows if row.tests.get(order) is not None
+        ]
+        result[order] = sum(values) / len(values) if values else None
+    return result
+
+
+def format_table5(rows: Sequence[Table5Row],
+                  orders: Sequence[str] = TABLE5_ORDERS) -> str:
+    """Render in the published column layout, average row included."""
+    def cell(value: Optional[object]) -> str:
+        return "-" if value is None else str(value)
+
+    body = [
+        [row.circuit] + [cell(row.tests.get(o)) for o in orders]
+        for row in rows
+    ]
+    avg = averages(rows, orders)
+    body.append(
+        ["average"] + [
+            cell(None if avg[o] is None else round(avg[o], 1)) for o in orders
+        ]
+    )
+    return render_table(
+        ["circuit"] + list(orders), body,
+        title="Table 5: Test generation (test-set sizes)",
+    )

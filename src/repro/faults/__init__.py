@@ -1,0 +1,23 @@
+"""Stuck-at fault model, universe enumeration, collapsing, bookkeeping."""
+
+from repro.faults.collapse import CollapsedFaults, collapse_faults, collapsed_fault_list
+from repro.faults.dominance import dominance_collapse, dominance_reduction
+from repro.faults.model import STEM, Fault, check_fault
+from repro.faults.sets import FaultSet, FaultStatus
+from repro.faults.universe import count_lines, full_universe, line_branches
+
+__all__ = [
+    "CollapsedFaults",
+    "Fault",
+    "FaultSet",
+    "FaultStatus",
+    "STEM",
+    "check_fault",
+    "collapse_faults",
+    "collapsed_fault_list",
+    "count_lines",
+    "dominance_collapse",
+    "dominance_reduction",
+    "full_universe",
+    "line_branches",
+]

@@ -1,0 +1,87 @@
+"""Single stuck-at fault model.
+
+A fault site is a *line*: either the output stem of a node, or one fanout
+branch (a specific input pin of a specific gate).  A :class:`Fault` is a
+site plus a stuck value.  Branch faults are only distinct from their
+driver's stem fault when the driver has fanout greater than one; the
+universe enumerator (:mod:`repro.faults.universe`) handles that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.flatten import CompiledCircuit
+from repro.errors import FaultModelError
+
+#: Sentinel pin value meaning "the output stem of the node".
+STEM = -1
+
+
+@dataclass(frozen=True, order=True)
+class Fault:
+    """A single stuck-at fault.
+
+    Attributes
+    ----------
+    node:
+        Node id.  For a stem fault, the faulty line is this node's output;
+        for a branch fault, the node is the *consuming gate*.
+    pin:
+        :data:`STEM` (-1) for a stem fault, otherwise the index into
+        ``fanin[node]`` naming the faulty input branch.
+    value:
+        The stuck value, 0 or 1.
+
+    Ordering is lexicographic on ``(node, pin, value)``: topological order
+    of fault sites, which serves as the deterministic "original order"
+    (``Forig``) of the experiments.
+    """
+
+    node: int
+    pin: int
+    value: int
+
+    def __post_init__(self):
+        if self.value not in (0, 1):
+            raise FaultModelError(f"stuck value must be 0 or 1, got {self.value!r}")
+        if self.pin < STEM:
+            raise FaultModelError(f"pin must be >= -1, got {self.pin}")
+
+    @property
+    def is_stem(self) -> bool:
+        """True for output-stem faults."""
+        return self.pin == STEM
+
+    @property
+    def is_branch(self) -> bool:
+        """True for fanout-branch (gate input pin) faults."""
+        return self.pin != STEM
+
+    def site(self) -> tuple:
+        """The fault line ``(node, pin)`` without the stuck value."""
+        return (self.node, self.pin)
+
+    def describe(self, circ: CompiledCircuit) -> str:
+        """Human-readable form, e.g. ``g12 s-a-0`` or ``g12.in1 s-a-1``."""
+        name = circ.names[self.node]
+        if self.is_stem:
+            return f"{name} s-a-{self.value}"
+        src = circ.names[circ.fanin[self.node][self.pin]]
+        return f"{name}.in{self.pin}({src}) s-a-{self.value}"
+
+
+def check_fault(circ: CompiledCircuit, fault: Fault) -> None:
+    """Validate that ``fault`` names a real line of ``circ``.
+
+    Raises :class:`FaultModelError` otherwise.
+    """
+    if not 0 <= fault.node < circ.num_nodes:
+        raise FaultModelError(f"fault node {fault.node} out of range")
+    if fault.is_branch:
+        fanin = circ.fanin[fault.node]
+        if not 0 <= fault.pin < len(fanin):
+            raise FaultModelError(
+                f"fault pin {fault.pin} out of range for node "
+                f"{circ.describe_node(fault.node)} with {len(fanin)} inputs"
+            )

@@ -1,0 +1,65 @@
+"""Stuck-at fault universe enumeration.
+
+The *full universe* contains two faults (s-a-0, s-a-1) per line, where the
+lines are:
+
+* the output stem of every node (primary inputs included), and
+* every input pin of every gate whose driver line *branches* — because the
+  driver has fanout greater than one, or because the driver is a primary
+  output that additionally feeds logic (the external observation point
+  counts as a fanout).  Pins fed by non-branching drivers share their
+  driver's stem line, so enumerating them separately would double-count.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.circuit.flatten import CompiledCircuit
+from repro.faults.model import STEM, Fault
+
+
+def line_branches(circ: CompiledCircuit, src: int) -> bool:
+    """Does the output line of ``src`` branch?
+
+    True when the node drives more than one pin, or drives at least one
+    pin *and* is itself a primary output (observed externally).
+    """
+    fanout = len(circ.fanout[src])
+    return fanout > 1 or (fanout >= 1 and circ.is_output[src])
+
+
+def full_universe(circ: CompiledCircuit) -> List[Fault]:
+    """All stuck-at faults of ``circ``, in (node, pin, value) order.
+
+    The order is deterministic and topological; the experiments use it as
+    the paper's "original order" ``Forig``.
+    """
+    faults: List[Fault] = []
+    for node in range(circ.num_nodes):
+        entries: List[Fault] = []
+        if circ.fanout[node] or circ.is_output[node]:
+            # A node with neither fanout nor observation has no line in
+            # the circuit (e.g. an unused primary input): no stem faults.
+            entries.append(Fault(node, STEM, 0))
+            entries.append(Fault(node, STEM, 1))
+        for pin, src in enumerate(circ.fanin[node]):
+            if line_branches(circ, src):
+                entries.append(Fault(node, pin, 0))
+                entries.append(Fault(node, pin, 1))
+        entries.sort()
+        faults.extend(entries)
+    return faults
+
+
+def count_lines(circ: CompiledCircuit) -> int:
+    """Number of distinct fault lines (universe size is twice this)."""
+    lines = sum(
+        1 for node in range(circ.num_nodes)
+        if circ.fanout[node] or circ.is_output[node]
+    )
+    for node in circ.gate_nodes():
+        for src in circ.fanin[node]:
+            if line_branches(circ, src):
+                lines += 1
+    return lines

@@ -1,0 +1,44 @@
+"""Fault simulation engines: serial oracle, PPSFP, deductive, dropping,
+n-detection."""
+
+from repro.fsim.deductive import (
+    deductive_detected,
+    deductive_drop_simulate,
+    deductive_fault_lists,
+)
+from repro.fsim.dropping import DropSimResult, coverage_curve, drop_simulate
+from repro.fsim.ndetect import detection_counts, ndet_per_vector, redundancy_candidates
+from repro.fsim.parallel import (
+    ParallelFaultSimulator,
+    detection_word,
+    detection_words,
+    detects,
+)
+from repro.fsim.serial import (
+    detected_set_serial,
+    detection_word_serial,
+    detects_serial,
+    output_response,
+    simulate_with_fault,
+)
+
+__all__ = [
+    "DropSimResult",
+    "ParallelFaultSimulator",
+    "coverage_curve",
+    "deductive_detected",
+    "deductive_drop_simulate",
+    "deductive_fault_lists",
+    "detected_set_serial",
+    "detection_counts",
+    "detection_word",
+    "detection_word_serial",
+    "detection_words",
+    "detects",
+    "detects_serial",
+    "drop_simulate",
+    "ndet_per_vector",
+    "output_response",
+    "redundancy_candidates",
+    "simulate_with_fault",
+]

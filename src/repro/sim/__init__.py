@@ -1,0 +1,37 @@
+"""Logic simulation: bit-parallel (big-int and numpy) and 3-valued."""
+
+from repro.sim.bitsim import (
+    BitSimulator,
+    eval_gate_words,
+    simulate,
+    simulate_outputs,
+    simulate_vector,
+    simulate_words,
+)
+from repro.sim.pattern_io import (
+    read_pattern_table,
+    read_patterns,
+    write_pattern_table,
+    write_patterns,
+)
+from repro.sim.patterns import PatternSet
+from repro.sim.threeval import ONE, X, ZERO, eval_gate3, simulate3
+
+__all__ = [
+    "BitSimulator",
+    "ONE",
+    "PatternSet",
+    "X",
+    "ZERO",
+    "eval_gate3",
+    "eval_gate_words",
+    "read_pattern_table",
+    "read_patterns",
+    "simulate",
+    "simulate3",
+    "simulate_outputs",
+    "simulate_vector",
+    "simulate_words",
+    "write_pattern_table",
+    "write_patterns",
+]

@@ -1,0 +1,101 @@
+"""Numpy ``uint64`` bit-parallel simulation backend.
+
+Same semantics as :mod:`repro.sim.bitsim` with signals stored as rows of a
+``(num_nodes, num_words)`` ``uint64`` matrix, 64 patterns per word.  This
+backend exists as an ablation (DESIGN.md §6): for very wide pattern blocks
+it amortizes per-gate dispatch over vectorized words, while the big-int
+backend does one Python op per gate regardless of width.  The benchmark
+``bench_ablation_backends.py`` measures the crossover.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.circuit.flatten import CompiledCircuit
+from repro.circuit.gate_types import GateType
+from repro.errors import SimulationError
+from repro.sim.patterns import PatternSet
+
+
+def words_to_matrix(input_words: Sequence[int], num_patterns: int) -> np.ndarray:
+    """Convert big-int input words to a ``(num_inputs, num_words)`` matrix."""
+    num_words = max(1, (num_patterns + 63) // 64)
+    out = np.zeros((len(input_words), num_words), dtype=np.uint64)
+    for i, word in enumerate(input_words):
+        raw = word.to_bytes(num_words * 8, "little")
+        out[i] = np.frombuffer(raw, dtype="<u8")
+    return out
+
+
+def matrix_row_to_int(row: np.ndarray, num_patterns: int) -> int:
+    """Convert one uint64 row back to a big-int, masked to ``num_patterns``."""
+    value = int.from_bytes(row.astype("<u8").tobytes(), "little")
+    return value & ((1 << num_patterns) - 1)
+
+
+def simulate_matrix(circ: CompiledCircuit, inputs: np.ndarray) -> np.ndarray:
+    """Simulate all nodes; returns a ``(num_nodes, num_words)`` matrix."""
+    if inputs.shape[0] != circ.num_inputs:
+        raise SimulationError(
+            f"{circ.name}: matrix has {inputs.shape[0]} input rows, "
+            f"expected {circ.num_inputs}"
+        )
+    num_words = inputs.shape[1]
+    values = np.zeros((circ.num_nodes, num_words), dtype=np.uint64)
+    values[: circ.num_inputs] = inputs
+    ones = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+    node_type = circ.node_type
+    fanin = circ.fanin
+    for node in range(circ.num_inputs, circ.num_nodes):
+        gtype = node_type[node]
+        srcs = fanin[node]
+        if gtype == GateType.AND or gtype == GateType.NAND:
+            acc = values[srcs[0]].copy()
+            for s in srcs[1:]:
+                acc &= values[s]
+            values[node] = acc if gtype == GateType.AND else acc ^ ones
+        elif gtype == GateType.OR or gtype == GateType.NOR:
+            acc = values[srcs[0]].copy()
+            for s in srcs[1:]:
+                acc |= values[s]
+            values[node] = acc if gtype == GateType.OR else acc ^ ones
+        elif gtype == GateType.XOR or gtype == GateType.XNOR:
+            acc = values[srcs[0]].copy()
+            for s in srcs[1:]:
+                acc ^= values[s]
+            values[node] = acc if gtype == GateType.XOR else acc ^ ones
+        elif gtype == GateType.BUF:
+            values[node] = values[srcs[0]]
+        elif gtype == GateType.NOT:
+            values[node] = values[srcs[0]] ^ ones
+        elif gtype == GateType.CONST0:
+            values[node] = 0
+        elif gtype == GateType.CONST1:
+            values[node] = ones
+        else:
+            raise SimulationError(f"cannot evaluate node type {gtype!r}")
+    return values
+
+
+def simulate(circ: CompiledCircuit, patterns: PatternSet) -> List[int]:
+    """Big-int-word interface over the numpy backend.
+
+    Returns the same per-node big-int list as :func:`repro.sim.bitsim.
+    simulate`, so the two backends are drop-in interchangeable (and the
+    test suite asserts they agree).
+    """
+    if patterns.num_inputs != circ.num_inputs:
+        raise SimulationError(
+            f"{circ.name}: pattern set has {patterns.num_inputs} inputs, "
+            f"circuit has {circ.num_inputs}"
+        )
+    matrix = words_to_matrix(patterns.words, patterns.num_patterns)
+    values = simulate_matrix(circ, matrix)
+    return [
+        matrix_row_to_int(values[node], patterns.num_patterns)
+        for node in range(circ.num_nodes)
+    ]

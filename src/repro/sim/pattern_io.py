@@ -1,0 +1,121 @@
+"""Test pattern file I/O.
+
+Two plain-text formats:
+
+* **bitstring** — one pattern per line, MSB = input 0, comments with
+  ``#``.  The lowest-common-denominator exchange format::
+
+      # 3 inputs
+      101
+      010
+
+* **table** — a header naming the inputs, then rows; survives column
+  reordering and makes files self-describing::
+
+      inputs: a b sel
+      1 0 1
+      0 1 0
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.circuit.flatten import CompiledCircuit
+from repro.errors import SimulationError
+from repro.sim.patterns import PatternSet
+
+
+def write_patterns(patterns: PatternSet,
+                   destination: Optional[Path] = None) -> str:
+    """Serialize in bitstring format."""
+    lines = [f"# {patterns.num_inputs} inputs, {patterns.num_patterns} patterns"]
+    for vector in patterns.iter_vectors():
+        lines.append("".join(str(bit) for bit in vector))
+    text = "\n".join(lines) + "\n"
+    if destination is not None:
+        destination.write_text(text)
+    return text
+
+
+def read_patterns(source: Union[str, Path],
+                  num_inputs: Optional[int] = None) -> PatternSet:
+    """Parse bitstring format (text or path)."""
+    if isinstance(source, Path):
+        text = source.read_text()
+    elif "\n" in source or source.strip("01") == "":
+        text = source
+    else:
+        text = Path(source).read_text()
+    vectors: List[List[int]] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if set(line) - {"0", "1"}:
+            raise SimulationError(
+                f"line {line_no}: {line!r} is not a 0/1 bitstring"
+            )
+        vectors.append([int(ch) for ch in line])
+    if not vectors and num_inputs is None:
+        raise SimulationError("empty pattern file needs num_inputs")
+    return PatternSet.from_vectors(vectors, num_inputs)
+
+
+def write_pattern_table(patterns: PatternSet, circ: CompiledCircuit,
+                        destination: Optional[Path] = None) -> str:
+    """Serialize in table format with the circuit's input names."""
+    if patterns.num_inputs != circ.num_inputs:
+        raise SimulationError(
+            f"pattern set has {patterns.num_inputs} inputs, "
+            f"circuit has {circ.num_inputs}"
+        )
+    names = [circ.names[i] for i in range(circ.num_inputs)]
+    lines = ["inputs: " + " ".join(names)]
+    for vector in patterns.iter_vectors():
+        lines.append(" ".join(str(bit) for bit in vector))
+    text = "\n".join(lines) + "\n"
+    if destination is not None:
+        destination.write_text(text)
+    return text
+
+
+def read_pattern_table(source: Union[str, Path],
+                       circ: CompiledCircuit) -> PatternSet:
+    """Parse table format, permuting columns to the circuit's PI order."""
+    if isinstance(source, Path):
+        text = source.read_text()
+    elif "\n" in source or source.startswith("inputs:"):
+        text = source
+    else:
+        text = Path(source).read_text()
+    lines = [
+        line.split("#", 1)[0].strip()
+        for line in text.splitlines()
+    ]
+    lines = [line for line in lines if line]
+    if not lines or not lines[0].startswith("inputs:"):
+        raise SimulationError("table format needs an `inputs:` header")
+    header = lines[0][len("inputs:"):].split()
+    expected = [circ.names[i] for i in range(circ.num_inputs)]
+    if sorted(header) != sorted(expected):
+        raise SimulationError(
+            f"table columns {header} do not match circuit inputs {expected}"
+        )
+    column_of = {name: k for k, name in enumerate(header)}
+    permutation = [column_of[name] for name in expected]
+
+    vectors: List[List[int]] = []
+    for line_no, line in enumerate(lines[1:], start=2):
+        cells = line.split()
+        if len(cells) != len(header):
+            raise SimulationError(
+                f"line {line_no}: {len(cells)} columns, expected {len(header)}"
+            )
+        try:
+            row = [int(c) for c in cells]
+        except ValueError:
+            raise SimulationError(f"line {line_no}: non-integer cell")
+        vectors.append([row[k] for k in permutation])
+    return PatternSet.from_vectors(vectors, circ.num_inputs)

@@ -1,0 +1,174 @@
+"""Pattern containers and sources.
+
+A :class:`PatternSet` stores N input vectors *column-wise*: one big-int
+word per primary input, bit ``p`` of word ``i`` being input ``i``'s value
+under pattern ``p``.  That is exactly the layout the bit-parallel
+simulator consumes, so simulation needs no transposition.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.utils.bitvec import full_mask
+from repro.utils.rng import make_rng, random_word
+
+
+@dataclass(frozen=True)
+class PatternSet:
+    """An immutable set of input patterns in column-major (word) form."""
+
+    num_inputs: int
+    num_patterns: int
+    words: Tuple[int, ...]
+
+    def __post_init__(self):
+        if len(self.words) != self.num_inputs:
+            raise SimulationError(
+                f"expected {self.num_inputs} words, got {len(self.words)}"
+            )
+        mask = full_mask(self.num_patterns)
+        for i, word in enumerate(self.words):
+            if word < 0 or word & ~mask:
+                raise SimulationError(
+                    f"word for input {i} has bits outside {self.num_patterns} patterns"
+                )
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def from_vectors(vectors: Sequence[Sequence[int]], num_inputs: int | None = None) -> "PatternSet":
+        """Build from row-major 0/1 vectors (``vectors[p][i]``)."""
+        if not vectors:
+            if num_inputs is None:
+                raise SimulationError("empty pattern set needs num_inputs")
+            return PatternSet(num_inputs, 0, tuple([0] * num_inputs))
+        width = len(vectors[0])
+        if num_inputs is not None and num_inputs != width:
+            raise SimulationError(
+                f"vectors have {width} inputs, expected {num_inputs}"
+            )
+        words = [0] * width
+        for p, vec in enumerate(vectors):
+            if len(vec) != width:
+                raise SimulationError(
+                    f"pattern {p} has {len(vec)} values, expected {width}"
+                )
+            bit = 1 << p
+            for i, value in enumerate(vec):
+                if value not in (0, 1):
+                    raise SimulationError(
+                        f"pattern {p}, input {i}: value {value!r} not 0/1"
+                    )
+                if value:
+                    words[i] |= bit
+        return PatternSet(width, len(vectors), tuple(words))
+
+    @staticmethod
+    def from_integers(values: Sequence[int], num_inputs: int) -> "PatternSet":
+        """Build from integer-encoded vectors, input 0 = most significant bit.
+
+        This matches the paper's convention of naming an input vector by
+        its decimal value (Table 1 of the paper: ``u`` = 0..15 for the
+        4-input ``lion`` example).
+        """
+        vectors = []
+        for value in values:
+            if value < 0 or value >= (1 << num_inputs):
+                raise SimulationError(
+                    f"vector value {value} out of range for {num_inputs} inputs"
+                )
+            vectors.append(
+                [(value >> (num_inputs - 1 - i)) & 1 for i in range(num_inputs)]
+            )
+        return PatternSet.from_vectors(vectors, num_inputs)
+
+    @staticmethod
+    def random(num_inputs: int, num_patterns: int, seed: int = 0,
+               rng: random.Random | None = None) -> "PatternSet":
+        """Uniformly random patterns from an explicit seed or RNG."""
+        if rng is None:
+            rng = make_rng(seed, "patterns")
+        words = tuple(random_word(rng, num_patterns) for _ in range(num_inputs))
+        return PatternSet(num_inputs, num_patterns, words)
+
+    @staticmethod
+    def exhaustive(num_inputs: int) -> "PatternSet":
+        """All ``2**num_inputs`` vectors, ordered by integer value.
+
+        Pattern ``p`` is the vector whose integer encoding (input 0 most
+        significant) equals ``p``, so ``lion``-style tables index
+        straight into it.
+        """
+        if num_inputs > 20:
+            raise SimulationError(
+                f"refusing to enumerate 2**{num_inputs} patterns"
+            )
+        return PatternSet.from_integers(
+            list(range(1 << num_inputs)), num_inputs
+        )
+
+    # -- access --------------------------------------------------------------
+
+    def vector(self, p: int) -> Tuple[int, ...]:
+        """Row ``p`` as a 0/1 tuple."""
+        if not 0 <= p < self.num_patterns:
+            raise IndexError(f"pattern {p} out of range")
+        return tuple((w >> p) & 1 for w in self.words)
+
+    def as_integer(self, p: int) -> int:
+        """Row ``p`` as its integer encoding (input 0 most significant)."""
+        vec = self.vector(p)
+        value = 0
+        for bit in vec:
+            value = (value << 1) | bit
+        return value
+
+    def iter_vectors(self) -> Iterator[Tuple[int, ...]]:
+        """Iterate rows in pattern order."""
+        for p in range(self.num_patterns):
+            yield self.vector(p)
+
+    # -- slicing / combination ------------------------------------------------
+
+    def take(self, count: int) -> "PatternSet":
+        """First ``count`` patterns."""
+        return self.slice(0, count)
+
+    def slice(self, start: int, stop: int) -> "PatternSet":
+        """Patterns ``start..stop-1`` as a new set."""
+        if not 0 <= start <= stop <= self.num_patterns:
+            raise IndexError(f"slice [{start}, {stop}) out of range")
+        width = stop - start
+        mask = full_mask(width)
+        words = tuple((w >> start) & mask for w in self.words)
+        return PatternSet(self.num_inputs, width, words)
+
+    def concat(self, other: "PatternSet") -> "PatternSet":
+        """This set followed by ``other``."""
+        if other.num_inputs != self.num_inputs:
+            raise SimulationError("pattern sets have different input counts")
+        shift = self.num_patterns
+        words = tuple(
+            w | (ow << shift) for w, ow in zip(self.words, other.words)
+        )
+        return PatternSet(self.num_inputs, shift + other.num_patterns, words)
+
+    def select(self, indices: Sequence[int]) -> "PatternSet":
+        """Re-index patterns: new pattern k = old pattern ``indices[k]``."""
+        return PatternSet.from_vectors(
+            [self.vector(p) for p in indices], self.num_inputs
+        )
+
+    def chunks(self, size: int) -> Iterator["PatternSet"]:
+        """Yield consecutive slices of at most ``size`` patterns."""
+        if size < 1:
+            raise SimulationError("chunk size must be positive")
+        for start in range(0, self.num_patterns, size):
+            yield self.slice(start, min(start + size, self.num_patterns))
+
+    def __len__(self) -> int:
+        return self.num_patterns

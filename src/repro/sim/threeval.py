@@ -1,0 +1,93 @@
+"""Three-valued (0/1/X) logic simulation.
+
+Used by PODEM for implication with partially assigned inputs, and by
+tests as the reference for X-propagation semantics.  Values are plain
+ints: ``ZERO = 0``, ``ONE = 1``, ``X = 2``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.circuit.flatten import CompiledCircuit
+from repro.circuit.gate_types import GateType
+from repro.errors import SimulationError
+
+ZERO = 0
+ONE = 1
+X = 2
+
+
+def eval_gate3(gtype: GateType, values: Sequence[int]) -> int:
+    """Evaluate one gate in 3-valued logic.
+
+    A controlling value forces the output even when other inputs are X;
+    otherwise any X input makes the output X.
+    """
+    if gtype == GateType.CONST0:
+        return ZERO
+    if gtype == GateType.CONST1:
+        return ONE
+    if gtype == GateType.BUF:
+        return values[0]
+    if gtype == GateType.NOT:
+        v = values[0]
+        return X if v == X else v ^ 1
+
+    if gtype in (GateType.AND, GateType.NAND):
+        out: int = ONE
+        for v in values:
+            if v == ZERO:
+                out = ZERO
+                break
+            if v == X:
+                out = X
+        result = out
+        if gtype == GateType.NAND:
+            result = X if out == X else out ^ 1
+        return result
+    if gtype in (GateType.OR, GateType.NOR):
+        out = ZERO
+        for v in values:
+            if v == ONE:
+                out = ONE
+                break
+            if v == X:
+                out = X
+        result = out
+        if gtype == GateType.NOR:
+            result = X if out == X else out ^ 1
+        return result
+    if gtype in (GateType.XOR, GateType.XNOR):
+        acc = 0
+        for v in values:
+            if v == X:
+                return X
+            acc ^= v
+        if gtype == GateType.XNOR:
+            acc ^= 1
+        return acc
+    raise SimulationError(f"cannot evaluate node type {gtype!r}")
+
+
+def simulate3(circ: CompiledCircuit, input_values: Sequence[int]) -> List[int]:
+    """Full-pass 3-valued simulation; returns a value per node.
+
+    ``input_values[i]`` must be 0, 1 or :data:`X`.
+    """
+    if len(input_values) != circ.num_inputs:
+        raise SimulationError(
+            f"{circ.name}: got {len(input_values)} input values, "
+            f"expected {circ.num_inputs}"
+        )
+    values: List[int] = [X] * circ.num_nodes
+    for i, v in enumerate(input_values):
+        if v not in (ZERO, ONE, X):
+            raise SimulationError(f"input {i}: {v!r} is not 0/1/X")
+        values[i] = v
+    for node in range(circ.num_inputs, circ.num_nodes):
+        srcs = circ.fanin[node]
+        values[node] = eval_gate3(
+            circ.node_type[node], [values[s] for s in srcs]
+        )
+    return values

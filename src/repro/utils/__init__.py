@@ -1,0 +1,22 @@
+"""Shared low-level utilities: bit vectors, RNG plumbing, report formatting."""
+
+from repro.utils.bitvec import (
+    bit_indices,
+    bits_to_array,
+    full_mask,
+    iter_bits,
+    pack_bits,
+    popcount,
+)
+from repro.utils.rng import derive_seed, make_rng
+
+__all__ = [
+    "bit_indices",
+    "bits_to_array",
+    "derive_seed",
+    "full_mask",
+    "iter_bits",
+    "make_rng",
+    "pack_bits",
+    "popcount",
+]

@@ -1,0 +1,113 @@
+"""Big-integer bit-vector helpers.
+
+The simulators in this package represent the value of one signal across N
+patterns as a single Python integer: bit ``i`` is the signal's value under
+pattern ``i``.  Python's arbitrary-precision integers make the bitwise gate
+operations run in C regardless of N, which is the core performance trick of
+the whole library (see DESIGN.md §4).
+
+This module collects the small amount of bit fiddling that is shared by the
+simulators, the fault machinery and the ADI computation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+import numpy as np
+
+
+def full_mask(num_bits: int) -> int:
+    """Return an integer with the low ``num_bits`` bits set.
+
+    This is the all-ones word used to implement NOT/NAND/NOR/XNOR for a
+    pattern block of ``num_bits`` patterns.
+    """
+    if num_bits < 0:
+        raise ValueError(f"num_bits must be non-negative, got {num_bits}")
+    return (1 << num_bits) - 1
+
+
+def popcount(word: int) -> int:
+    """Count set bits of a non-negative integer."""
+    if word < 0:
+        raise ValueError("popcount is defined for non-negative integers")
+    return word.bit_count() if hasattr(word, "bit_count") else bin(word).count("1")
+
+
+def iter_bits(word: int) -> Iterator[int]:
+    """Yield the indices of set bits of ``word`` in increasing order.
+
+    Uses the ``word & -word`` lowest-set-bit trick so the cost is
+    proportional to the number of set bits, not the word width.
+    """
+    while word:
+        low = word & -word
+        yield low.bit_length() - 1
+        word ^= low
+
+
+def bit_indices(word: int) -> List[int]:
+    """Return the indices of set bits of ``word`` as a list."""
+    return list(iter_bits(word))
+
+
+def bits_to_array(word: int, num_bits: int) -> np.ndarray:
+    """Expand ``word`` into a numpy ``uint8`` 0/1 array of length ``num_bits``.
+
+    Bit ``i`` of ``word`` lands at index ``i`` of the result.  Used to turn
+    detection masks into per-pattern columns for vectorized ``ndet``
+    accumulation.
+    """
+    if num_bits < 0:
+        raise ValueError(f"num_bits must be non-negative, got {num_bits}")
+    num_bytes = (num_bits + 7) // 8
+    raw = word.to_bytes(num_bytes, "little") if num_bytes else b""
+    bits = np.unpackbits(np.frombuffer(raw, dtype=np.uint8), bitorder="little")
+    return bits[:num_bits]
+
+
+def pack_bits(bits: Sequence[int] | Iterable[int]) -> int:
+    """Pack an iterable of 0/1 values into an integer (index i -> bit i)."""
+    word = 0
+    for i, bit in enumerate(bits):
+        if bit not in (0, 1):
+            raise ValueError(f"bit {i} is {bit!r}, expected 0 or 1")
+        if bit:
+            word |= 1 << i
+    return word
+
+
+def extract_pattern(words: Sequence[int], pattern_index: int) -> List[int]:
+    """Read pattern ``pattern_index`` out of a list of per-signal words.
+
+    ``words[s]`` holds signal ``s`` over all patterns; the result is the
+    single-pattern slice ``[bit(words[0]), bit(words[1]), ...]``.
+    """
+    if pattern_index < 0:
+        raise ValueError(f"pattern_index must be non-negative, got {pattern_index}")
+    return [(w >> pattern_index) & 1 for w in words]
+
+
+def transpose_patterns(vectors: Sequence[Sequence[int]]) -> List[int]:
+    """Turn a list of per-pattern 0/1 vectors into per-position words.
+
+    ``vectors[p][s]`` is the value of position ``s`` under pattern ``p``;
+    the result ``words[s]`` has bit ``p`` equal to that value.  This is the
+    loading step for the bit-parallel simulator.
+    """
+    if not vectors:
+        return []
+    width = len(vectors[0])
+    for p, vec in enumerate(vectors):
+        if len(vec) != width:
+            raise ValueError(
+                f"pattern {p} has length {len(vec)}, expected {width}"
+            )
+    words = [0] * width
+    for p, vec in enumerate(vectors):
+        bit = 1 << p
+        for s, value in enumerate(vec):
+            if value:
+                words[s] |= bit
+    return words

@@ -1,0 +1,43 @@
+"""Deterministic randomness plumbing.
+
+Every stochastic step in the library (random pattern generation, PODEM
+random fill, synthetic circuit synthesis) draws from a ``random.Random``
+instance created here from an explicit integer seed.  Sub-streams are
+derived by hashing a parent seed with a string label so that independent
+components never share a stream, and adding a component cannot perturb the
+randomness seen by another.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+_MASK64 = (1 << 64) - 1
+
+
+def derive_seed(parent_seed: int, label: str) -> int:
+    """Derive a 64-bit child seed from ``parent_seed`` and a string label.
+
+    The derivation is a SHA-256 hash, so it is stable across Python
+    versions and platforms (unlike ``hash()``).
+    """
+    payload = f"{parent_seed}:{label}".encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "little") & _MASK64
+
+
+def make_rng(seed: int, label: str | None = None) -> random.Random:
+    """Create a ``random.Random`` for ``seed``, optionally sub-streamed."""
+    if label is not None:
+        seed = derive_seed(seed, label)
+    return random.Random(seed)
+
+
+def random_word(rng: random.Random, num_bits: int) -> int:
+    """Return a uniformly random integer with ``num_bits`` random bits."""
+    if num_bits < 0:
+        raise ValueError(f"num_bits must be non-negative, got {num_bits}")
+    if num_bits == 0:
+        return 0
+    return rng.getrandbits(num_bits)

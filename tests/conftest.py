@@ -1,0 +1,85 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.circuit import (
+    GeneratorSpec,
+    and_chain,
+    c17,
+    generate_circuit,
+    lion_like,
+    mux2,
+    redundant_demo,
+    ripple_adder,
+    xor_tree,
+)
+
+
+@pytest.fixture(scope="session")
+def c17_circuit():
+    return c17()
+
+
+@pytest.fixture(scope="session")
+def lion_circuit():
+    return lion_like()
+
+
+@pytest.fixture(scope="session")
+def mux_circuit():
+    return mux2()
+
+
+@pytest.fixture(scope="session")
+def adder_circuit():
+    return ripple_adder(3)
+
+
+@pytest.fixture(scope="session")
+def redundant_circuit():
+    return redundant_demo()
+
+
+#: Small circuits with exhaustively-checkable behaviour (<= 13 inputs).
+SMALL_CIRCUITS = {
+    "c17": c17,
+    "lion_like": lion_like,
+    "mux2": mux2,
+    "and_chain_4": lambda: and_chain(4),
+    "xor_tree_5": lambda: xor_tree(5),
+    "adder_2": lambda: ripple_adder(2),
+    "redundant_demo": redundant_demo,
+}
+
+
+@pytest.fixture(params=sorted(SMALL_CIRCUITS), scope="session")
+def small_circuit(request):
+    """Parametrized fixture running a test over every small circuit."""
+    return SMALL_CIRCUITS[request.param]()
+
+
+def generated_circuit(seed: int, num_inputs: int = 8, num_gates: int = 40,
+                      num_outputs: int = 5, hardness: float = 0.05):
+    """Deterministic small synthetic circuit for randomized tests."""
+    spec = GeneratorSpec(
+        name=f"gen{seed}",
+        num_inputs=num_inputs,
+        num_gates=num_gates,
+        num_outputs=num_outputs,
+        seed=seed,
+        hardness=hardness,
+    )
+    return generate_circuit(spec)
+
+
+#: Hypothesis strategy producing small generated circuits (by seed).
+gen_circuit_strategy = st.builds(
+    generated_circuit,
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_inputs=st.integers(min_value=4, max_value=10),
+    num_gates=st.integers(min_value=12, max_value=48),
+    num_outputs=st.integers(min_value=2, max_value=6),
+)

@@ -1,0 +1,148 @@
+"""Tests for static and dynamic fault orders (paper Section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.adi import (
+    ORDERS,
+    compute_adi,
+    dynamic_prefix,
+    f0decr,
+    f0dynm,
+    fdecr,
+    fdynm,
+    fincr0,
+    forig,
+    select_u,
+)
+from repro.faults import collapsed_fault_list
+from repro.sim import PatternSet
+
+from conftest import generated_circuit
+
+
+@pytest.fixture(scope="module")
+def lion_data():
+    from repro.circuit import lion_like
+
+    circ = lion_like()
+    faults = collapsed_fault_list(circ)
+    adi = compute_adi(circ, faults, PatternSet.exhaustive(4))
+    return circ, faults, adi
+
+
+@pytest.fixture(scope="module")
+def zero_adi_data():
+    """A circuit where U misses some faults, so zero-ADI faults exist."""
+    circ = generated_circuit(21, num_inputs=8, num_gates=40, num_outputs=4,
+                             hardness=0.15)
+    faults = collapsed_fault_list(circ)
+    selection = select_u(circ, faults, seed=1, max_vectors=48,
+                         target_coverage=1.0)
+    adi = compute_adi(circ, faults, selection.patterns)
+    assert adi.undetected_indices, "fixture needs zero-ADI faults"
+    return circ, faults, adi
+
+
+class TestStaticOrders:
+    def test_all_orders_are_permutations(self, zero_adi_data):
+        __, faults, adi = zero_adi_data
+        for name, order_fn in ORDERS.items():
+            order = order_fn(adi)
+            assert sorted(order) == list(range(len(faults))), name
+
+    def test_forig_is_identity(self, lion_data):
+        __, faults, adi = lion_data
+        assert forig(adi) == list(range(len(faults)))
+
+    def test_fdecr_nonincreasing(self, zero_adi_data):
+        __, __, adi = zero_adi_data
+        values = [int(adi.adi[i]) for i in fdecr(adi)]
+        assert values == sorted(values, reverse=True)
+
+    def test_fdecr_zeros_last(self, zero_adi_data):
+        __, __, adi = zero_adi_data
+        order = fdecr(adi)
+        num_zero = len(adi.undetected_indices)
+        assert all(adi.adi[i] == 0 for i in order[-num_zero:])
+        assert all(adi.adi[i] > 0 for i in order[:-num_zero])
+
+    def test_f0decr_zeros_first_then_decreasing(self, zero_adi_data):
+        __, __, adi = zero_adi_data
+        order = f0decr(adi)
+        num_zero = len(adi.undetected_indices)
+        assert all(adi.adi[i] == 0 for i in order[:num_zero])
+        rest = [int(adi.adi[i]) for i in order[num_zero:]]
+        assert rest == sorted(rest, reverse=True)
+
+    def test_fincr0_increasing_with_zeros_last(self, zero_adi_data):
+        __, __, adi = zero_adi_data
+        order = fincr0(adi)
+        num_zero = len(adi.undetected_indices)
+        head = [int(adi.adi[i]) for i in order[:-num_zero]]
+        assert head == sorted(head)
+        assert all(adi.adi[i] == 0 for i in order[-num_zero:])
+
+    def test_ties_broken_by_original_position(self, lion_data):
+        __, __, adi = lion_data
+        order = fdecr(adi)
+        for a, b in zip(order, order[1:]):
+            if adi.adi[a] == adi.adi[b]:
+                assert a < b
+
+
+class TestDynamicOrders:
+    def _reference_dynamic(self, adi):
+        """Brute-force reimplementation of the paper's dynamic procedure."""
+        ndet = adi.ndet.astype(np.int64).copy()
+        remaining = [i for i in range(len(adi.faults)) if adi.adi[i] > 0]
+        placed = []
+        while remaining:
+            best, best_value = None, -1
+            for i in remaining:
+                vecs = adi.det_vectors[i]
+                value = int(ndet[vecs].min())
+                if value > best_value:
+                    best, best_value = i, value
+            placed.append(best)
+            remaining.remove(best)
+            ndet[adi.det_vectors[best]] -= 1
+        return placed
+
+    def test_fdynm_matches_reference(self, lion_data):
+        __, __, adi = lion_data
+        zeros = adi.undetected_indices
+        assert fdynm(adi) == self._reference_dynamic(adi) + zeros
+
+    def test_fdynm_matches_reference_with_zeros(self, zero_adi_data):
+        __, __, adi = zero_adi_data
+        expected = self._reference_dynamic(adi) + adi.undetected_indices
+        assert fdynm(adi) == expected
+
+    def test_f0dynm_is_fdynm_rotated(self, zero_adi_data):
+        __, __, adi = zero_adi_data
+        zeros = adi.undetected_indices
+        dynamic_part = fdynm(adi)[: len(adi.faults) - len(zeros)]
+        assert f0dynm(adi) == zeros + dynamic_part
+
+    def test_first_pick_has_globally_maximal_adi(self, lion_data):
+        __, __, adi = lion_data
+        first = fdynm(adi)[0]
+        assert adi.adi[first] == adi.adi.max()
+
+    def test_dynamic_prefix_walkthrough(self, lion_data):
+        """Mirrors the paper's Section 3 construction: values at placement
+        are non-increasing and start at the global maximum."""
+        __, __, adi = lion_data
+        prefix = dynamic_prefix(adi, 5)
+        values = [v for _, v in prefix]
+        assert values[0] == int(adi.adi.max())
+        assert all(a >= b for a, b in zip(values, values[1:]))
+        order = fdynm(adi)
+        assert [i for i, _ in prefix] == order[:5]
+
+    def test_dynamic_differs_from_static_sometimes(self, zero_adi_data):
+        """The dynamic update must actually change something relative to
+        the static sort on a circuit with overlapping detection sets."""
+        __, __, adi = zero_adi_data
+        assert fdynm(adi) != fdecr(adi)

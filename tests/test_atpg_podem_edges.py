@@ -1,0 +1,144 @@
+"""PODEM edge cases: crafted circuits that stress specific search paths."""
+
+import pytest
+
+from repro.atpg import PodemEngine, PodemStatus, podem
+from repro.circuit import Circuit, GateType, compile_circuit
+from repro.faults import Fault, STEM
+from repro.fsim import detects
+from repro.sim import X
+
+
+def _compile(build):
+    c = Circuit()
+    build(c)
+    return compile_circuit(c)
+
+
+class TestActivationEdges:
+    def test_fault_on_po_stem(self):
+        circ = _compile(lambda c: (
+            c.add_input("a"), c.add_gate("y", GateType.NOT, ("a",)),
+            c.add_output("y"),
+        ))
+        y = circ.node_of("y")
+        result = podem(circ, Fault(y, STEM, 0))
+        assert result.status == PodemStatus.SUCCESS
+        # Activation alone suffices: y must be 1, so a = 0.
+        assert result.cube[0] == 0
+
+    def test_fault_on_pi_stem(self):
+        circ = _compile(lambda c: (
+            c.add_input("a"), c.add_input("b"),
+            c.add_gate("y", GateType.AND, ("a", "b")),
+            c.add_output("y"),
+        ))
+        result = podem(circ, Fault(0, STEM, 1))
+        assert result.status == PodemStatus.SUCCESS
+        assert result.cube[0] == 0  # activate
+        assert result.cube[1] == 1  # propagate through the AND
+
+    def test_constant_blocked_fault_undetectable(self):
+        # y = AND(a, k0): a's faults cannot propagate past the 0.
+        circ = _compile(lambda c: (
+            c.add_input("a"),
+            c.add_gate("k0", GateType.CONST0, ()),
+            c.add_gate("y", GateType.AND, ("a", "k0")),
+            c.add_output("y"),
+        ))
+        a = circ.node_of("a")
+        result = podem(circ, Fault(a, STEM, 0), backtrack_limit=None)
+        assert result.status == PodemStatus.UNDETECTABLE
+
+    def test_const_node_stuck_at_its_value_undetectable(self):
+        circ = _compile(lambda c: (
+            c.add_input("a"),
+            c.add_gate("k1", GateType.CONST1, ()),
+            c.add_gate("y", GateType.AND, ("a", "k1")),
+            c.add_output("y"),
+        ))
+        k1 = circ.node_of("k1")
+        assert podem(circ, Fault(k1, STEM, 1),
+                     backtrack_limit=None).status == PodemStatus.UNDETECTABLE
+        assert podem(circ, Fault(k1, STEM, 0),
+                     backtrack_limit=None).status == PodemStatus.SUCCESS
+
+
+class TestPropagationEdges:
+    def test_reconvergent_masking_needs_backtracks(self):
+        # y = XOR(p, q) with p = AND(a, b), q = AND(a, c): propagating a
+        # fault on `a` requires making exactly one path sensitive.
+        circ = _compile(lambda c: (
+            c.add_input("a"), c.add_input("b"), c.add_input("c"),
+            c.add_gate("p", GateType.AND, ("a", "b")),
+            c.add_gate("q", GateType.AND, ("a", "c")),
+            c.add_gate("y", GateType.XOR, ("p", "q")),
+            c.add_output("y"),
+        ))
+        a = circ.node_of("a")
+        result = podem(circ, Fault(a, STEM, 0), backtrack_limit=None)
+        assert result.status == PodemStatus.SUCCESS
+        vec = [v if v != X else 0 for v in result.cube]
+        assert detects(circ, vec, Fault(a, STEM, 0))
+        # b and c must differ, otherwise the two paths cancel.
+        assert vec[1] != vec[2]
+
+    def test_wide_gate_propagation(self):
+        circ = _compile(lambda c: (
+            [c.add_input(f"i{k}") for k in range(6)],
+            c.add_gate("y", GateType.NOR, tuple(f"i{k}" for k in range(6))),
+            c.add_output("y"),
+        ))
+        result = podem(circ, Fault(0, STEM, 1))
+        assert result.status == PodemStatus.SUCCESS
+        # All side inputs must be non-controlling (0) for a NOR.
+        assert all(result.cube[k] == 0 for k in range(1, 6))
+
+    def test_xnor_chain_parity_backtrace(self):
+        circ = _compile(lambda c: (
+            c.add_input("a"), c.add_input("b"), c.add_input("s"),
+            c.add_gate("x1", GateType.XNOR, ("a", "b")),
+            c.add_gate("y", GateType.XNOR, ("x1", "s")),
+            c.add_output("y"),
+        ))
+        for fault in (Fault(0, STEM, 0), Fault(0, STEM, 1)):
+            result = podem(circ, fault)
+            assert result.status == PodemStatus.SUCCESS
+            vec = [v if v != X else 1 for v in result.cube]
+            assert detects(circ, vec, fault)
+
+    def test_branch_fault_other_branch_unaffected(self):
+        # Stem feeds two gates; the branch fault must be tested through
+        # its own gate only.
+        circ = _compile(lambda c: (
+            c.add_input("a"), c.add_input("b"),
+            c.add_gate("s", GateType.NOT, ("a",)),
+            c.add_gate("p", GateType.AND, ("s", "b")),
+            c.add_gate("q", GateType.OR, ("s", "b")),
+            c.add_output("p"), c.add_output("q"),
+        ))
+        p = circ.node_of("p")
+        fault = Fault(p, 0, 1)  # p's s-pin stuck at 1
+        result = podem(circ, fault, backtrack_limit=None)
+        assert result.status == PodemStatus.SUCCESS
+        vec = [v if v != X else 0 for v in result.cube]
+        assert detects(circ, vec, fault)
+
+
+class TestSearchBudget:
+    def test_unlimited_budget_never_aborts(self, small_circuit):
+        from repro.faults import collapsed_fault_list
+
+        engine = PodemEngine(small_circuit)
+        for fault in collapsed_fault_list(small_circuit):
+            status = engine.run(fault, backtrack_limit=None).status
+            assert status != PodemStatus.ABORTED
+
+    def test_decisions_counted(self):
+        circ = _compile(lambda c: (
+            c.add_input("a"), c.add_input("b"),
+            c.add_gate("y", GateType.AND, ("a", "b")),
+            c.add_output("y"),
+        ))
+        result = podem(circ, Fault(circ.node_of("y"), STEM, 0))
+        assert result.decisions >= 2  # both inputs must be justified

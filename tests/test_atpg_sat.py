@@ -1,0 +1,176 @@
+"""Tests for the DPLL solver and the SAT-based ATPG."""
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.atpg import PodemEngine, PodemStatus
+from repro.atpg.sat import CnfFormula, SatStatus, solve_cnf
+from repro.atpg.satgen import SatAtpg, sat_podem
+from repro.errors import AtpgError
+from repro.faults import collapsed_fault_list, full_universe
+from repro.fsim import detection_words, detects
+from repro.sim import PatternSet, X
+
+from conftest import generated_circuit
+
+
+def _formula(num_vars, clauses):
+    formula = CnfFormula()
+    for _ in range(num_vars):
+        formula.new_var()
+    formula.add_clauses(clauses)
+    return formula
+
+
+class TestDpllSolver:
+    def test_trivially_sat(self):
+        result = solve_cnf(_formula(1, [[1]]))
+        assert result.status == SatStatus.SAT
+        assert result.model[1] is True
+
+    def test_trivially_unsat(self):
+        result = solve_cnf(_formula(1, [[1], [-1]]))
+        assert result.status == SatStatus.UNSAT
+
+    def test_empty_clause_unsat(self):
+        result = solve_cnf(_formula(1, [[]]))
+        assert result.status == SatStatus.UNSAT
+
+    def test_no_clauses_sat(self):
+        result = solve_cnf(_formula(3, []))
+        assert result.status == SatStatus.SAT
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(AtpgError):
+            _formula(1, [[2]])
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(AtpgError):
+            _formula(1, [[0]])
+
+    def test_xor_chain_sat(self):
+        # x1 xor x2 = 1 as CNF.
+        result = solve_cnf(_formula(2, [[1, 2], [-1, -2]]))
+        assert result.status == SatStatus.SAT
+        assert result.model[1] != result.model[2]
+
+    def test_assumptions(self):
+        formula = _formula(2, [[1, 2]])
+        result = solve_cnf(formula, assumptions=[-1])
+        assert result.status == SatStatus.SAT
+        assert result.model[2] is True
+
+    def test_conflicting_assumptions(self):
+        result = solve_cnf(_formula(2, [[1, 2]]), assumptions=[-1, -2])
+        assert result.status == SatStatus.UNSAT
+
+    def test_pigeonhole_unsat(self):
+        # 3 pigeons in 2 holes: vars p_{i,h} = 2*i + h + 1.
+        formula = CnfFormula()
+        var = {}
+        for i in range(3):
+            for h in range(2):
+                var[(i, h)] = formula.new_var()
+        for i in range(3):
+            formula.add_clause([var[(i, 0)], var[(i, 1)]])
+        for h in range(2):
+            for i, j in itertools.combinations(range(3), 2):
+                formula.add_clause([-var[(i, h)], -var[(j, h)]])
+        assert solve_cnf(formula).status == SatStatus.UNSAT
+
+    def test_conflict_budget_unknown(self):
+        # Same pigeonhole but with a zero conflict budget.
+        formula = CnfFormula()
+        var = {}
+        for i in range(4):
+            for h in range(3):
+                var[(i, h)] = formula.new_var()
+        for i in range(4):
+            formula.add_clause([var[(i, h)] for h in range(3)])
+        for h in range(3):
+            for i, j in itertools.combinations(range(4), 2):
+                formula.add_clause([-var[(i, h)], -var[(j, h)]])
+        result = solve_cnf(formula, conflict_limit=1)
+        assert result.status in (SatStatus.UNKNOWN, SatStatus.UNSAT)
+        if result.status == SatStatus.UNKNOWN:
+            assert result.conflicts >= 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(
+        st.lists(st.integers(-5, 5).filter(lambda v: v != 0),
+                 min_size=1, max_size=4),
+        min_size=1, max_size=12,
+    ))
+    def test_models_satisfy_formula(self, raw_clauses):
+        formula = _formula(5, raw_clauses)
+        result = solve_cnf(formula)
+        # Cross-check against brute force.
+        brute_sat = False
+        for bits in itertools.product([False, True], repeat=5):
+            assignment = {v: bits[v - 1] for v in range(1, 6)}
+            if all(
+                any(
+                    assignment[abs(lit)] == (lit > 0) for lit in clause
+                )
+                for clause in raw_clauses
+            ):
+                brute_sat = True
+                break
+        assert (result.status == SatStatus.SAT) == brute_sat
+        if result.status == SatStatus.SAT:
+            for clause in raw_clauses:
+                assert any(
+                    result.model[abs(lit)] == (lit > 0) for lit in clause
+                )
+
+
+class TestSatAtpg:
+    def test_matches_exhaustive_truth(self, small_circuit):
+        if small_circuit.num_inputs > 8:
+            return
+        faults = collapsed_fault_list(small_circuit)
+        words = detection_words(
+            small_circuit, faults,
+            PatternSet.exhaustive(small_circuit.num_inputs),
+        )
+        engine = SatAtpg(small_circuit)
+        for fault, word in zip(faults, words):
+            result = engine.run(fault)
+            expected = (
+                PodemStatus.SUCCESS if word else PodemStatus.UNDETECTABLE
+            )
+            assert result.status == expected, fault.describe(small_circuit)
+            if result.status == PodemStatus.SUCCESS:
+                vec = [v if v != X else 0 for v in result.cube]
+                assert detects(small_circuit, vec, fault)
+
+    @settings(max_examples=4, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 200))
+    def test_agrees_with_podem(self, seed):
+        circ = generated_circuit(seed, num_inputs=7, num_gates=24,
+                                 num_outputs=3)
+        faults = collapsed_fault_list(circ)
+        sat_engine = SatAtpg(circ)
+        podem_engine = PodemEngine(circ)
+        for fault in faults[:40]:
+            sat_result = sat_engine.run(fault)
+            podem_result = podem_engine.run(fault, backtrack_limit=None)
+            assert sat_result.status == podem_result.status, \
+                fault.describe(circ)
+
+    def test_branch_faults(self, c17_circuit):
+        branch_faults = [f for f in full_universe(c17_circuit) if f.is_branch]
+        engine = SatAtpg(c17_circuit)
+        for fault in branch_faults:
+            result = engine.run(fault)
+            assert result.status == PodemStatus.SUCCESS
+            vec = [v if v != X else 1 for v in result.cube]
+            assert detects(c17_circuit, vec, fault)
+
+    def test_one_shot_wrapper(self, mux_circuit):
+        fault = collapsed_fault_list(mux_circuit)[0]
+        assert sat_podem(mux_circuit, fault).detected

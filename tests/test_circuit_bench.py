@@ -1,0 +1,143 @@
+"""Tests for the ISCAS-89 .bench reader/writer."""
+
+import io
+from pathlib import Path
+
+import pytest
+
+from repro.circuit import (
+    GateType,
+    c17,
+    compile_circuit,
+    full_scan_extract,
+    parse_bench,
+    to_netlist,
+    write_bench,
+)
+from repro.errors import BenchParseError
+
+C17_TEXT = """
+# c17 benchmark
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+"""
+
+S27_TEXT = """
+# s27 (sequential)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+"""
+
+
+class TestParseBench:
+    def test_c17_text_matches_builtin(self):
+        parsed = compile_circuit(parse_bench(C17_TEXT, name="c17"))
+        builtin = c17()
+        assert parsed.num_inputs == builtin.num_inputs
+        assert parsed.num_gates == builtin.num_gates
+        assert parsed.outputs == builtin.outputs
+        assert parsed.node_type == builtin.node_type
+
+    def test_sequential_parse(self):
+        circuit = parse_bench(S27_TEXT, name="s27")
+        assert circuit.is_sequential
+        assert len(circuit.dffs) == 3
+        assert len(circuit.inputs) == 4
+        comb, info = full_scan_extract(circuit)
+        compiled = compile_circuit(comb)
+        assert compiled.num_inputs == 7  # 4 PIs + 3 pseudo
+        assert info.pseudo_inputs == ["G5", "G6", "G7"]
+
+    def test_case_insensitive_keywords(self):
+        circuit = parse_bench("input(a)\noutput(y)\ny = nand(a, a)\n")
+        assert circuit.inputs == ["a"]
+        assert circuit.gates[0].gtype == GateType.NAND
+
+    def test_comments_and_blank_lines_ignored(self):
+        circuit = parse_bench("# hi\n\nINPUT(a)\nOUTPUT(y)\ny = NOT(a) # inline\n")
+        assert len(circuit.gates) == 1
+
+    def test_buff_alias(self):
+        circuit = parse_bench("INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n")
+        assert circuit.gates[0].gtype == GateType.BUF
+
+    def test_parse_error_carries_line_number(self):
+        with pytest.raises(BenchParseError) as exc:
+            parse_bench("INPUT(a)\nwhat is this\n")
+        assert "line 2" in str(exc.value)
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\ny = MAJ3(a, a, a)\n")
+
+    def test_dff_arity_enforced(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\nINPUT(b)\nq = DFF(a, b)\n")
+
+    def test_duplicate_driver_reports_line(self):
+        with pytest.raises(BenchParseError) as exc:
+            parse_bench("INPUT(a)\nINPUT(a)\n")
+        assert "line 2" in str(exc.value)
+
+    def test_file_object_source(self):
+        circuit = parse_bench(io.StringIO(C17_TEXT))
+        assert len(circuit.gates) == 6
+
+    def test_path_source(self, tmp_path):
+        path = tmp_path / "mini.bench"
+        path.write_text("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+        circuit = parse_bench(path)
+        assert circuit.name == "mini"
+
+
+class TestWriteBench:
+    def test_round_trip_combinational(self, small_circuit):
+        text = write_bench(to_netlist(small_circuit))
+        rebuilt = compile_circuit(parse_bench(text, name=small_circuit.name))
+        assert rebuilt.node_type == small_circuit.node_type
+        assert rebuilt.fanin == small_circuit.fanin
+        assert rebuilt.outputs == small_circuit.outputs
+
+    def test_round_trip_sequential(self):
+        circuit = parse_bench(S27_TEXT, name="s27")
+        text = write_bench(circuit)
+        again = parse_bench(text, name="s27")
+        assert [d.name for d in again.dffs] == [d.name for d in circuit.dffs]
+        assert [g.name for g in again.gates] == [g.name for g in circuit.gates]
+
+    def test_write_to_path(self, tmp_path):
+        path = tmp_path / "out.bench"
+        write_bench(to_netlist(c17()), path)
+        assert "NAND" in path.read_text()
+
+    def test_write_to_stream(self):
+        buf = io.StringIO()
+        write_bench(to_netlist(c17()), buf)
+        assert "INPUT(G1)" in buf.getvalue()

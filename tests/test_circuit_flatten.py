@@ -1,0 +1,129 @@
+"""Tests for netlist compilation into array form."""
+
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    GateType,
+    c17,
+    compile_circuit,
+    to_netlist,
+)
+from repro.errors import CircuitStructureError
+
+
+class TestCompileCircuit:
+    def test_inputs_come_first(self, c17_circuit):
+        for node in range(c17_circuit.num_inputs):
+            assert c17_circuit.node_type[node] == GateType.INPUT
+
+    def test_topological_property(self, small_circuit):
+        for node in small_circuit.gate_nodes():
+            for src in small_circuit.fanin[node]:
+                assert src < node
+
+    def test_levels_monotone(self, small_circuit):
+        for node in small_circuit.gate_nodes():
+            for src in small_circuit.fanin[node]:
+                assert small_circuit.level[src] < small_circuit.level[node]
+
+    def test_fanout_inverse_of_fanin(self, small_circuit):
+        for node in small_circuit.gate_nodes():
+            for src in small_circuit.fanin[node]:
+                assert node in small_circuit.fanout[src]
+        for node in range(small_circuit.num_nodes):
+            for consumer in small_circuit.fanout[node]:
+                assert node in small_circuit.fanin[consumer]
+
+    def test_fanout_counts_duplicate_pins(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("y", GateType.XNOR, ("a", "a"))
+        c.add_output("y")
+        compiled = compile_circuit(c)
+        assert len(compiled.fanout[compiled.node_of("a")]) == 2
+
+    def test_c17_shape(self, c17_circuit):
+        assert c17_circuit.num_inputs == 5
+        assert c17_circuit.num_gates == 6
+        assert c17_circuit.num_outputs == 2
+        assert c17_circuit.max_level == 3
+
+    def test_name_lookup(self, c17_circuit):
+        node = c17_circuit.node_of("G22")
+        assert c17_circuit.names[node] == "G22"
+        assert c17_circuit.is_output[node]
+
+    def test_unknown_name_raises(self, c17_circuit):
+        with pytest.raises(KeyError):
+            c17_circuit.node_of("nope")
+
+    def test_sequential_rejected(self):
+        c = Circuit()
+        c.add_input("d")
+        c.add_dff("q", "d")
+        c.add_output("q")
+        with pytest.raises(CircuitStructureError):
+            compile_circuit(c)
+
+    def test_cycle_rejected(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("x", GateType.AND, ("a", "y"))
+        c.add_gate("y", GateType.NOT, ("x",))
+        c.add_output("y")
+        with pytest.raises(CircuitStructureError):
+            compile_circuit(c)
+
+    def test_dangling_reference_rejected(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("y", GateType.AND, ("a", "ghost"))
+        c.add_output("y")
+        with pytest.raises(CircuitStructureError):
+            compile_circuit(c)
+
+    def test_undriven_output_rejected(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_output("ghost")
+        with pytest.raises(CircuitStructureError):
+            compile_circuit(c)
+
+    def test_output_can_be_input(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("y", GateType.AND, ("a", "b"))
+        c.add_output("y")
+        c.add_output("a")
+        compiled = compile_circuit(c)
+        assert compiled.is_output[compiled.node_of("a")]
+
+    def test_deep_chain_does_not_recurse(self):
+        # 5000-deep inverter chain would overflow a recursive DFS.
+        c = Circuit()
+        prev = c.add_input("a")
+        for i in range(5000):
+            prev = c.add_gate(f"n{i}", GateType.NOT, (prev,))
+        c.add_output(prev)
+        compiled = compile_circuit(c)
+        assert compiled.max_level == 5000
+
+    def test_describe_node(self, c17_circuit):
+        text = c17_circuit.describe_node(c17_circuit.node_of("G10"))
+        assert text == "G10(NAND)"
+
+
+class TestToNetlist:
+    def test_round_trip(self, small_circuit):
+        rebuilt = compile_circuit(to_netlist(small_circuit))
+        assert rebuilt.num_inputs == small_circuit.num_inputs
+        assert rebuilt.node_type == small_circuit.node_type
+        assert rebuilt.fanin == small_circuit.fanin
+        assert rebuilt.outputs == small_circuit.outputs
+        assert rebuilt.names == small_circuit.names
+
+    def test_rename(self):
+        netlist = to_netlist(c17(), name="copy")
+        assert netlist.name == "copy"

@@ -1,0 +1,115 @@
+"""Tests for the synthetic circuit generator."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import GeneratorSpec, generate_circuit, validate_circuit
+from repro.errors import CircuitStructureError
+from repro.sim import PatternSet, simulate
+from repro.utils.bitvec import full_mask
+
+
+def _spec(**overrides):
+    base = dict(name="t", num_inputs=8, num_gates=40, num_outputs=5, seed=1)
+    base.update(overrides)
+    return GeneratorSpec(**base)
+
+
+class TestSpecValidation:
+    def test_too_few_inputs(self):
+        with pytest.raises(CircuitStructureError):
+            _spec(num_inputs=1).validate()
+
+    def test_gates_must_cover_inputs(self):
+        with pytest.raises(CircuitStructureError):
+            _spec(num_gates=5).validate()
+
+    def test_no_outputs(self):
+        with pytest.raises(CircuitStructureError):
+            _spec(num_outputs=0).validate()
+
+    def test_locality_range(self):
+        with pytest.raises(CircuitStructureError):
+            _spec(locality=1.5).validate()
+
+    def test_hardness_range(self):
+        with pytest.raises(CircuitStructureError):
+            _spec(hardness=0.9).validate()
+
+    def test_probe_minimum(self):
+        with pytest.raises(CircuitStructureError):
+            _spec(probe_patterns=8).validate()
+
+
+class TestGeneratedStructure:
+    def test_deterministic(self):
+        a = generate_circuit(_spec(seed=7))
+        b = generate_circuit(_spec(seed=7))
+        assert a.node_type == b.node_type
+        assert a.fanin == b.fanin
+        assert a.outputs == b.outputs
+
+    def test_seed_changes_circuit(self):
+        a = generate_circuit(_spec(seed=7))
+        b = generate_circuit(_spec(seed=8))
+        assert (a.node_type, a.fanin) != (b.node_type, b.fanin)
+
+    def test_interface_counts(self):
+        circ = generate_circuit(_spec())
+        assert circ.num_inputs == 8
+        assert circ.num_outputs == 5
+        assert circ.num_gates >= 40  # merge tree may add gates
+
+    def test_strictly_valid(self):
+        report = validate_circuit(generate_circuit(_spec()), strict=True)
+        assert report.ok, report.errors
+
+    def test_every_input_used(self):
+        circ = generate_circuit(_spec())
+        for pi in range(circ.num_inputs):
+            assert circ.fanout[pi], f"input {pi} unused"
+
+    def test_no_constant_nodes_on_probe_block(self):
+        # The probe-rejection invariant: no node's function is constant
+        # over a large random block (checked with a fresh block here).
+        circ = generate_circuit(_spec(num_gates=60))
+        patterns = PatternSet.random(circ.num_inputs, 2048, seed=99)
+        values = simulate(circ, patterns)
+        mask = full_mask(2048)
+        for node in range(circ.num_nodes):
+            assert values[node] not in (0, mask), circ.describe_node(node)
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 1000), ni=st.integers(4, 12),
+           no=st.integers(2, 6))
+    def test_property_valid_for_many_seeds(self, seed, ni, no):
+        spec = _spec(seed=seed, num_inputs=ni, num_gates=4 * ni,
+                     num_outputs=no)
+        circ = generate_circuit(spec)
+        assert validate_circuit(circ, strict=True).ok
+        assert circ.num_inputs == ni
+        assert circ.num_outputs == no
+
+    def test_hardness_increases_resistance(self):
+        # Hard gates are wide AND/NOR cones: their outputs are skewed
+        # towards one value, so the mean signal activity min(p, 1-p)
+        # drops as hardness rises.  Aggregate over seeds to de-noise.
+        patterns = PatternSet.random(12, 1024, seed=5)
+
+        def mean_activity(circ):
+            values = simulate(circ, patterns)
+            total = 0.0
+            for node in circ.gate_nodes():
+                ones = values[node].bit_count()
+                total += min(ones, 1024 - ones) / 1024
+            return total / circ.num_gates
+
+        easy = hard = 0.0
+        for seed in (3, 4, 5):
+            easy += mean_activity(generate_circuit(_spec(
+                seed=seed, num_inputs=12, num_gates=100, hardness=0.0)))
+            hard += mean_activity(generate_circuit(_spec(
+                seed=seed, num_inputs=12, num_gates=100, hardness=0.3)))
+        assert hard < easy

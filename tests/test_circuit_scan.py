@@ -1,0 +1,88 @@
+"""Tests for full-scan extraction."""
+
+import pytest
+
+from repro.circuit import Circuit, GateType, compile_circuit, full_scan_extract
+from repro.errors import CircuitStructureError
+
+
+def _toggler():
+    """1-bit toggler: q' = q xor en, out = q."""
+    c = Circuit(name="toggler")
+    c.add_input("en")
+    c.add_gate("nq", GateType.XOR, ("q", "en"))
+    c.add_dff("q", "nq")
+    c.add_output("q")
+    return c
+
+
+class TestFullScanExtract:
+    def test_dff_becomes_pseudo_pi_and_po(self):
+        comb, info = full_scan_extract(_toggler())
+        assert not comb.is_sequential
+        assert "q" in comb.inputs
+        assert "nq" in comb.outputs
+        assert info.pseudo_inputs == ["q"]
+        assert info.pseudo_outputs == ["nq"]
+
+    def test_compiles_after_extraction(self):
+        comb, _ = full_scan_extract(_toggler())
+        compiled = compile_circuit(comb)
+        assert compiled.num_inputs == 2
+        assert compiled.num_outputs == 2
+
+    def test_combinational_passthrough(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("y", GateType.NOT, ("a",))
+        c.add_output("y")
+        comb, info = full_scan_extract(c)
+        assert info.pseudo_inputs == []
+        assert info.pseudo_outputs == []
+        assert comb is not c  # a copy, not the original
+
+    def test_shared_next_state_observed_once(self):
+        c = Circuit()
+        c.add_input("d")
+        c.add_dff("q1", "d")
+        c.add_dff("q2", "d")
+        c.add_gate("y", GateType.AND, ("q1", "q2"))
+        c.add_output("y")
+        comb, info = full_scan_extract(c)
+        assert comb.outputs.count("d") == 1
+        assert info.pseudo_outputs == ["d"]
+
+    def test_existing_output_not_duplicated(self):
+        c = Circuit()
+        c.add_input("d")
+        c.add_gate("g", GateType.NOT, ("d",))
+        c.add_dff("q", "g")
+        c.add_output("g")
+        c.add_output("q")
+        comb, info = full_scan_extract(c)
+        # g was already a PO; DFF observation must not re-add it.
+        assert comb.outputs.count("g") == 1
+        assert info.pseudo_outputs == []
+
+    def test_undriven_dff_data_rejected(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_dff("q", "ghost")
+        c.add_output("q")
+        with pytest.raises(CircuitStructureError):
+            full_scan_extract(c)
+
+    def test_dff_chain(self):
+        c = Circuit()
+        c.add_input("d")
+        c.add_dff("q1", "d")
+        c.add_dff("q2", "q1")
+        c.add_gate("y", GateType.BUF, ("q2",))
+        c.add_output("y")
+        comb, info = full_scan_extract(c)
+        compiled = compile_circuit(comb)
+        # q1 is both a pseudo input (its own state) and a pseudo output
+        # (next state of q2).
+        assert "q1" in info.pseudo_inputs
+        assert "q1" in info.pseudo_outputs
+        assert compiled.is_output[compiled.node_of("q1")]

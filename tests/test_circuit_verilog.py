@@ -1,0 +1,137 @@
+"""Tests for the structural Verilog reader/writer."""
+
+import pytest
+
+from repro.circuit import compile_circuit, full_scan_extract, to_netlist
+from repro.circuit.verilog import (
+    compiled_to_verilog,
+    parse_verilog,
+    write_verilog,
+)
+from repro.errors import BenchParseError
+from repro.sim import PatternSet, simulate_outputs
+
+MINI = """
+// half adder
+module half_adder (a, b, s, c);
+  input a, b;
+  output s, c;
+  xor g1 (s, a, b);
+  and g2 (c, a, b);
+endmodule
+"""
+
+SEQ = """
+module counter (en, q0);
+  input en;
+  output q0;
+  wire n0;
+  dff ff0 (q0, n0);
+  xor g0 (n0, q0, en);
+endmodule
+"""
+
+
+class TestParseVerilog:
+    def test_half_adder(self):
+        circuit = parse_verilog(MINI)
+        assert circuit.name == "half_adder"
+        assert circuit.inputs == ["a", "b"]
+        assert circuit.outputs == ["s", "c"]
+        circ = compile_circuit(circuit)
+        from repro.sim import BitSimulator
+
+        sim = BitSimulator(circ)
+        assert sim.output_vector([1, 1]) == [0, 1]
+        assert sim.output_vector([1, 0]) == [1, 0]
+
+    def test_block_comments_stripped(self):
+        text = MINI.replace("// half adder", "/* half\nadder */")
+        assert len(parse_verilog(text).gates) == 2
+
+    def test_sequential_dff(self):
+        circuit = parse_verilog(SEQ)
+        assert circuit.is_sequential
+        comb, info = full_scan_extract(circuit)
+        assert info.pseudo_inputs == ["q0"]
+        compile_circuit(comb)
+
+    def test_missing_module_rejected(self):
+        with pytest.raises(BenchParseError):
+            parse_verilog("wire x;\n")
+
+    def test_missing_endmodule_rejected(self):
+        with pytest.raises(BenchParseError):
+            parse_verilog("module m (a);\n input a;\n")
+
+    def test_behavioural_instance_rejected(self):
+        text = """
+        module m (a, y);
+          input a;
+          output y;
+          myip u1 (y, a);
+        endmodule
+        """
+        with pytest.raises(BenchParseError):
+            parse_verilog(text)
+
+    def test_dff_port_count_enforced(self):
+        text = """
+        module m (a, q);
+          input a;
+          output q;
+          dff ff (q, a, a);
+        endmodule
+        """
+        with pytest.raises(BenchParseError):
+            parse_verilog(text)
+
+    def test_assign_constants(self):
+        text = """
+        module m (a, y);
+          input a;
+          output y;
+          wire k;
+          assign k = 1'b1;
+          and g0 (y, a, k);
+        endmodule
+        """
+        circ = compile_circuit(parse_verilog(text))
+        from repro.sim import BitSimulator
+
+        assert BitSimulator(circ).output_vector([1]) == [1]
+        assert BitSimulator(circ).output_vector([0]) == [0]
+
+    def test_path_source(self, tmp_path):
+        path = tmp_path / "m.v"
+        path.write_text(MINI)
+        assert parse_verilog(path).name == "half_adder"
+
+
+class TestWriteVerilog:
+    def test_round_trip_functionally_equal(self, small_circuit):
+        text = write_verilog(to_netlist(small_circuit))
+        reparsed = compile_circuit(
+            parse_verilog(text, name=small_circuit.name)
+        )
+        patterns = PatternSet.random(small_circuit.num_inputs, 128, seed=1)
+        assert simulate_outputs(small_circuit, patterns) == \
+            simulate_outputs(reparsed, patterns)
+
+    def test_round_trip_sequential(self):
+        circuit = parse_verilog(SEQ)
+        text = write_verilog(circuit)
+        again = parse_verilog(text)
+        assert [d.name for d in again.dffs] == ["q0"]
+
+    def test_module_name_sanitized(self):
+        from repro.circuit import c17
+
+        netlist = to_netlist(c17(), name="weird name!")
+        text = write_verilog(netlist)
+        assert "module weird_name_" in text
+
+    def test_compiled_convenience(self, c17_circuit):
+        text = compiled_to_verilog(c17_circuit)
+        assert "nand" in text
+        assert "module c17" in text

@@ -1,0 +1,41 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AtpgError,
+    BenchParseError,
+    CircuitStructureError,
+    ExperimentError,
+    FaultModelError,
+    ReproError,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        BenchParseError, CircuitStructureError, SimulationError,
+        FaultModelError, AtpgError, ExperimentError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(ReproError, Exception)
+
+
+class TestBenchParseError:
+    def test_line_number_prefix(self):
+        err = BenchParseError("bad token", line_no=17)
+        assert "line 17" in str(err)
+        assert err.line_no == 17
+
+    def test_without_line_number(self):
+        err = BenchParseError("bad token")
+        assert str(err) == "bad token"
+        assert err.line_no is None
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise BenchParseError("x", 1)

@@ -1,0 +1,112 @@
+"""Tests for the experiment suite registry and the memoizing runner.
+
+These use only the two smallest suite circuits so the (cached) builds
+stay cheap inside the unit-test session.
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ALL_CIRCUITS,
+    QUICK_CIRCUITS,
+    SUITE,
+    ExperimentRunner,
+    build_circuit,
+    selected_circuits,
+    suite_entry,
+)
+from repro.faults import collapse_faults
+
+SMALL = ("irs208", "irs298")
+
+
+class TestSuiteRegistry:
+    def test_fourteen_paper_circuits(self):
+        assert len(SUITE) == 14
+        assert ALL_CIRCUITS[0] == "irs208"
+        assert ALL_CIRCUITS[-1] == "irs13207"
+
+    def test_paper_input_counts(self):
+        published = {
+            "irs208": 19, "irs298": 17, "irs344": 24, "irs382": 24,
+            "irs400": 24, "irs420": 35, "irs510": 25, "irs526": 24,
+            "irs641": 54, "irs820": 23, "irs953": 45, "irs1196": 32,
+            "irs5378": 214, "irs13207": 699,
+        }
+        for name, inputs in published.items():
+            assert suite_entry(name).paper_inputs == inputs
+
+    def test_quick_subset_is_subset(self):
+        assert set(QUICK_CIRCUITS) <= set(ALL_CIRCUITS)
+        assert "irs13207" not in QUICK_CIRCUITS
+
+    def test_giants_skip_incr0(self):
+        assert not suite_entry("irs5378").run_incr0
+        assert not suite_entry("irs13207").run_incr0
+        assert suite_entry("irs208").run_incr0
+
+    def test_unknown_circuit_rejected(self):
+        with pytest.raises(ExperimentError):
+            suite_entry("irs9999")
+
+    def test_selected_circuits_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert selected_circuits() == list(QUICK_CIRCUITS)
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert selected_circuits() == list(ALL_CIRCUITS)
+        assert selected_circuits(full=False) == list(QUICK_CIRCUITS)
+
+    @pytest.mark.parametrize("name", SMALL)
+    def test_built_circuit_matches_paper_interface(self, name):
+        circ = build_circuit(name)
+        assert circ.num_inputs == suite_entry(name).paper_inputs
+        assert circ.name == name
+
+    def test_build_is_cached_and_deterministic(self):
+        a = build_circuit("irs208")
+        b = build_circuit("irs208")
+        assert a is b  # lru_cache
+
+
+class TestExperimentRunner:
+    @pytest.fixture(scope="class")
+    def runner(self):
+        return ExperimentRunner(seed=2005)
+
+    def test_prepare_shapes(self, runner):
+        prepared = runner.prepare("irs208")
+        assert prepared.num_faults == len(
+            collapse_faults(prepared.circuit).representatives
+        )
+        assert prepared.selection.num_vectors >= 1
+        assert len(prepared.adi.faults) == prepared.num_faults
+
+    def test_prepare_cached(self, runner):
+        assert runner.prepare("irs208") is runner.prepare("irs208")
+
+    def test_order_permutation_valid(self, runner):
+        prepared = runner.prepare("irs208")
+        for order in ("orig", "decr", "0decr", "dynm", "0dynm", "incr0"):
+            permutation = runner.order_permutation("irs208", order)
+            assert sorted(permutation) == list(range(prepared.num_faults))
+
+    def test_unknown_order_rejected(self, runner):
+        with pytest.raises(ExperimentError):
+            runner.order_permutation("irs208", "best")
+
+    def test_testgen_cached(self, runner):
+        a = runner.testgen("irs208", "orig")
+        b = runner.testgen("irs208", "orig")
+        assert a is b
+        assert a.num_tests > 0
+
+    def test_curve_matches_testgen(self, runner):
+        result = runner.testgen("irs208", "orig")
+        curve = runner.curve("irs208", "orig")
+        assert curve.num_tests == result.num_tests
+        assert curve.num_detected == result.num_detected
+
+    def test_orders_for_filters_incr0(self, runner):
+        assert "incr0" in runner.orders_for("irs208")
+        assert "incr0" not in runner.orders_for("irs13207")

@@ -1,0 +1,143 @@
+"""Tests for structural fault equivalence collapsing.
+
+The key soundness property: every fault in a collapsed class has the
+*identical* detection set under exhaustive simulation — checked for every
+small circuit and for randomly generated ones.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Circuit, GateType, compile_circuit
+from repro.faults import Fault, STEM, collapse_faults, collapsed_fault_list, full_universe
+from repro.fsim.serial import detection_word_serial
+from repro.sim import PatternSet
+
+from conftest import generated_circuit
+
+
+def _exhaustive_detection(circ, fault):
+    return detection_word_serial(circ, PatternSet.exhaustive(circ.num_inputs), fault)
+
+
+class TestCollapseSemantics:
+    def test_classes_semantically_equivalent(self, small_circuit):
+        if small_circuit.num_inputs > 8:
+            return  # exhaustive check too wide
+        collapsed = collapse_faults(small_circuit)
+        for rep in collapsed.representatives:
+            expected = _exhaustive_detection(small_circuit, rep)
+            for member in collapsed.members(rep):
+                assert _exhaustive_detection(small_circuit, member) == expected, (
+                    f"{member.describe(small_circuit)} !~ "
+                    f"{rep.describe(small_circuit)}"
+                )
+
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 300))
+    def test_classes_equivalent_on_generated(self, seed):
+        circ = generated_circuit(seed, num_inputs=6, num_gates=20,
+                                 num_outputs=3)
+        collapsed = collapse_faults(circ)
+        for rep in collapsed.representatives:
+            expected = _exhaustive_detection(circ, rep)
+            for member in collapsed.members(rep):
+                assert _exhaustive_detection(circ, member) == expected
+
+
+class TestCollapseStructure:
+    def test_representatives_cover_universe(self, small_circuit):
+        collapsed = collapse_faults(small_circuit)
+        assert set(collapsed.class_index) == set(collapsed.universe)
+        for fault in collapsed.universe:
+            rep = collapsed.representative_of(fault)
+            assert rep in collapsed.representatives
+
+    def test_representative_is_class_member(self, small_circuit):
+        collapsed = collapse_faults(small_circuit)
+        for rep in collapsed.representatives:
+            assert collapsed.representative_of(rep) == rep
+
+    def test_collapse_reduces_count(self, c17_circuit):
+        collapsed = collapse_faults(c17_circuit)
+        assert collapsed.num_classes < len(collapsed.universe)
+        # Known value for c17 with NAND-only logic.
+        assert collapsed.num_classes == 22
+
+    def test_representatives_sorted(self, small_circuit):
+        reps = collapse_faults(small_circuit).representatives
+        assert list(reps) == sorted(reps)
+
+    def test_convenience_list(self, c17_circuit):
+        assert collapsed_fault_list(c17_circuit) == list(
+            collapse_faults(c17_circuit).representatives
+        )
+
+    def test_and_gate_rule(self):
+        # AND: input s-a-0 == output s-a-0 (fanout-free line).
+        c = Circuit()
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("y", GateType.AND, ("a", "b"))
+        c.add_output("y")
+        circ = compile_circuit(c)
+        collapsed = collapse_faults(circ)
+        a = circ.node_of("a")
+        y = circ.node_of("y")
+        assert collapsed.representative_of(Fault(a, STEM, 0)) == \
+            collapsed.representative_of(Fault(y, STEM, 0))
+        assert collapsed.representative_of(Fault(a, STEM, 1)) != \
+            collapsed.representative_of(Fault(y, STEM, 1))
+
+    def test_not_gate_rule_inverts(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("y", GateType.NOT, ("a",))
+        c.add_output("y")
+        circ = compile_circuit(c)
+        collapsed = collapse_faults(circ)
+        a, y = circ.node_of("a"), circ.node_of("y")
+        assert collapsed.representative_of(Fault(a, STEM, 0)) == \
+            collapsed.representative_of(Fault(y, STEM, 1))
+        assert collapsed.representative_of(Fault(a, STEM, 1)) == \
+            collapsed.representative_of(Fault(y, STEM, 0))
+
+    def test_xor_no_collapse(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("y", GateType.XOR, ("a", "b"))
+        c.add_output("y")
+        circ = compile_circuit(c)
+        # 3 lines x 2 values, nothing merges.
+        assert collapse_faults(circ).num_classes == 6
+
+    def test_no_collapse_across_po_line(self):
+        # m is a PO and feeds y=NOT(m): m's line is observed externally,
+        # so the NOT rule must not merge across it.
+        c = Circuit()
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("m", GateType.AND, ("a", "b"))
+        c.add_gate("y", GateType.NOT, ("m",))
+        c.add_output("m")
+        c.add_output("y")
+        circ = compile_circuit(c)
+        collapsed = collapse_faults(circ)
+        m, y = circ.node_of("m"), circ.node_of("y")
+        assert collapsed.representative_of(Fault(m, STEM, 0)) != \
+            collapsed.representative_of(Fault(y, STEM, 1))
+        # The NOT's branch fault does merge with its output.
+        assert collapsed.representative_of(Fault(y, 0, 0)) == \
+            collapsed.representative_of(Fault(y, STEM, 1))
+
+    def test_chain_collapses_transitively(self):
+        # a -> BUF -> NOT -> PO: 8 universe faults fold into 2 classes.
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("m", GateType.BUF, ("a",))
+        c.add_gate("y", GateType.NOT, ("m",))
+        c.add_output("y")
+        circ = compile_circuit(c)
+        assert collapse_faults(circ).num_classes == 2

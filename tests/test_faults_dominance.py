@@ -1,0 +1,134 @@
+"""Tests for dominance collapsing: soundness (coverage preservation) and
+the expected structural reductions."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import Circuit, GateType, compile_circuit
+from repro.faults import (
+    Fault,
+    STEM,
+    collapse_faults,
+    dominance_collapse,
+    dominance_reduction,
+    full_universe,
+)
+from repro.fsim import detection_words
+from repro.sim import PatternSet
+from repro.utils.bitvec import bit_indices
+
+from conftest import generated_circuit
+
+
+def _covers_universe(circ, targets):
+    """Any vector set hitting every detectable target must hit every
+    detectable universe fault.  Checked against the strongest adversary:
+    for each universe fault f, the union of tests detecting all targets
+    it could hide behind must intersect T(f).  Equivalent check: build
+    the set of vectors 'forced' by targets greedily many times with
+    different tie-breaking seeds."""
+    universe = full_universe(circ)
+    patterns = PatternSet.exhaustive(circ.num_inputs)
+    uni_words = dict(zip(universe, detection_words(circ, universe, patterns)))
+    target_words = {f: uni_words[f] for f in targets}
+
+    import random
+
+    for seed in range(5):
+        rng = random.Random(seed)
+        chosen = set()
+        for fault in targets:
+            word = target_words[fault]
+            if not word:
+                continue
+            vectors = bit_indices(word)
+            chosen.add(vectors[rng.randrange(len(vectors))])
+        for fault, word in uni_words.items():
+            if word and not any((word >> v) & 1 for v in chosen):
+                return False, fault
+    return True, None
+
+
+class TestDominanceSoundness:
+    def test_small_circuits(self, small_circuit):
+        if small_circuit.num_inputs > 8:
+            return
+        targets = dominance_collapse(small_circuit)
+        ok, witness = _covers_universe(small_circuit, targets)
+        assert ok, witness and witness.describe(small_circuit)
+
+    @settings(max_examples=5, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 300))
+    def test_generated_irredundant_circuits(self, seed):
+        """The coverage guarantee holds on irredundant circuits (the
+        module's documented precondition — a redundant circuit can have
+        an undetectable dominator hiding a detectable dominated fault,
+        which hypothesis duly found on raw generated circuits)."""
+        from repro.circuit.redundancy import make_irredundant
+
+        raw = generated_circuit(seed, num_inputs=6, num_gates=22,
+                                num_outputs=3)
+        circ = make_irredundant(raw, batch=True, max_passes=6).circuit
+        targets = dominance_collapse(circ)
+        ok, witness = _covers_universe(circ, targets)
+        assert ok, witness and witness.describe(circ)
+
+    def test_redundant_counterexample_documented(self):
+        """Regression pin for the caveat: on the raw (redundant) circuit
+        from hypothesis' falsifying example, the guarantee may fail for
+        a detectable fault whose dominator is undetectable — after
+        redundancy removal it must hold."""
+        from repro.circuit.redundancy import make_irredundant
+
+        raw = generated_circuit(180, num_inputs=6, num_gates=22,
+                                num_outputs=3)
+        fixed = make_irredundant(raw, batch=True, max_passes=6).circuit
+        ok, witness = _covers_universe(fixed, dominance_collapse(fixed))
+        assert ok, witness and witness.describe(fixed)
+
+
+class TestDominanceStructure:
+    def test_reduces_relative_to_equivalence(self, small_circuit):
+        eq, dom = dominance_reduction(small_circuit)
+        assert dom <= eq
+
+    def test_c17_known_value(self, c17_circuit):
+        # Textbook result: c17 collapses to 22 by equivalence and the
+        # NAND-output s-a-0 faults drop under dominance.
+        eq, dom = dominance_reduction(c17_circuit)
+        assert eq == 22
+        assert dom < eq
+
+    def test_targets_subset_of_representatives(self, small_circuit):
+        collapsed = collapse_faults(small_circuit)
+        targets = dominance_collapse(small_circuit, collapsed)
+        assert set(targets) <= set(collapsed.representatives)
+
+    def test_and_gate_output_fault_dropped(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("y", GateType.AND, ("a", "b"))
+        c.add_output("y")
+        circ = compile_circuit(c)
+        targets = dominance_collapse(circ)
+        y = circ.node_of("y")
+        # out s-a-1 dominates in s-a-1: it must be gone.
+        assert Fault(y, STEM, 1) not in targets
+        # out s-a-0 is the equivalence representative's class (merged
+        # with input s-a-0): its representative survives.
+        collapsed = collapse_faults(circ)
+        rep = collapsed.representative_of(Fault(y, STEM, 0))
+        assert rep in targets
+
+    def test_xor_gate_drops_nothing(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("y", GateType.XOR, ("a", "b"))
+        c.add_output("y")
+        circ = compile_circuit(c)
+        eq, dom = dominance_reduction(circ)
+        assert eq == dom

@@ -1,0 +1,75 @@
+"""Tests for fault status bookkeeping."""
+
+import pytest
+
+from repro.errors import FaultModelError
+from repro.faults import Fault, FaultSet, FaultStatus, STEM
+
+
+@pytest.fixture
+def faults():
+    return [Fault(i, STEM, v) for i in range(3) for v in (0, 1)]
+
+
+class TestFaultSet:
+    def test_initial_status(self, faults):
+        fs = FaultSet(list(faults))
+        assert fs.undetected == faults
+        assert fs.num_detected == 0
+        assert fs.coverage() == 0.0
+
+    def test_duplicates_rejected(self, faults):
+        with pytest.raises(FaultModelError):
+            FaultSet([faults[0], faults[0]])
+
+    def test_mark_and_query(self, faults):
+        fs = FaultSet(list(faults))
+        fs.mark(faults[0], FaultStatus.DETECTED)
+        fs.mark(faults[1], FaultStatus.UNDETECTABLE)
+        fs.mark(faults[2], FaultStatus.ABORTED)
+        assert fs.num_detected == 1
+        assert fs.of_status(FaultStatus.UNDETECTABLE) == [faults[1]]
+        assert faults[0] not in fs.undetected
+
+    def test_mark_unknown_fault_rejected(self, faults):
+        fs = FaultSet(faults[:2])
+        with pytest.raises(FaultModelError):
+            fs.mark(faults[5], FaultStatus.DETECTED)
+
+    def test_coverage_counts_undetectables(self, faults):
+        fs = FaultSet(list(faults))
+        for f in faults[:3]:
+            fs.mark(f, FaultStatus.DETECTED)
+        assert fs.coverage() == 0.5
+
+    def test_detectable_coverage_excludes_undetectables(self, faults):
+        fs = FaultSet(list(faults))
+        fs.mark(faults[0], FaultStatus.UNDETECTABLE)
+        for f in faults[1:]:
+            fs.mark(f, FaultStatus.DETECTED)
+        assert fs.detectable_coverage() == 1.0
+        assert fs.coverage() < 1.0
+
+    def test_empty_set(self):
+        fs = FaultSet([])
+        assert fs.coverage() == 1.0
+        assert fs.detectable_coverage() == 1.0
+
+    def test_reorder(self, faults):
+        fs = FaultSet(list(faults))
+        fs.mark(faults[0], FaultStatus.DETECTED)
+        order = list(reversed(range(len(faults))))
+        reordered = fs.reordered(order)
+        assert reordered.faults[0] == faults[-1]
+        # Status travels with the faults.
+        assert reordered.status[faults[0]] == FaultStatus.DETECTED
+
+    def test_reorder_requires_permutation(self, faults):
+        fs = FaultSet(list(faults))
+        with pytest.raises(FaultModelError):
+            fs.reordered([0, 0, 1, 2, 3, 4])
+
+    def test_iteration_in_target_order(self, faults):
+        fs = FaultSet(list(reversed(faults)))
+        assert list(fs) == list(reversed(faults))
+        assert len(fs) == len(faults)

@@ -1,0 +1,98 @@
+"""Tests for deductive fault simulation against the PPSFP reference."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.faults import collapsed_fault_list, full_universe
+from repro.fsim import (
+    deductive_detected,
+    deductive_drop_simulate,
+    deductive_fault_lists,
+    detection_words,
+    drop_simulate,
+)
+from repro.sim import PatternSet
+
+from conftest import generated_circuit
+
+
+class TestDeductiveAgainstPpsfp:
+    def test_small_circuits_full_universe(self, small_circuit):
+        faults = full_universe(small_circuit)
+        patterns = PatternSet.random(small_circuit.num_inputs, 24, seed=8)
+        words = detection_words(small_circuit, faults, patterns)
+        for p in range(patterns.num_patterns):
+            expected = {
+                f for f, w in zip(faults, words) if (w >> p) & 1
+            }
+            got = deductive_detected(
+                small_circuit, faults, patterns.vector(p)
+            )
+            assert got == expected, f"pattern {p}"
+
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 400), pat_seed=st.integers(0, 50))
+    def test_generated_circuits(self, seed, pat_seed):
+        circ = generated_circuit(seed, num_inputs=7, num_gates=26,
+                                 num_outputs=4)
+        faults = full_universe(circ)
+        patterns = PatternSet.random(7, 12, seed=pat_seed)
+        words = detection_words(circ, faults, patterns)
+        for p in range(12):
+            expected = {f for f, w in zip(faults, words) if (w >> p) & 1}
+            got = deductive_detected(circ, faults, patterns.vector(p))
+            assert got == expected
+
+    def test_drop_simulation_agrees(self, small_circuit):
+        faults = collapsed_fault_list(small_circuit)
+        patterns = PatternSet.random(small_circuit.num_inputs, 32, seed=3)
+        deduced = deductive_drop_simulate(small_circuit, faults, patterns)
+        reference = drop_simulate(small_circuit, faults, patterns)
+        assert deduced == reference.first_detection
+
+
+class TestFaultListStructure:
+    def test_lists_cover_all_nodes(self, c17_circuit):
+        faults = collapsed_fault_list(c17_circuit)
+        lists = deductive_fault_lists(c17_circuit, faults, [1, 0, 1, 0, 1])
+        assert set(lists) == set(range(c17_circuit.num_nodes))
+
+    def test_pi_list_contains_only_own_faults(self, c17_circuit):
+        faults = full_universe(c17_circuit)
+        lists = deductive_fault_lists(c17_circuit, faults, [1, 1, 1, 1, 1])
+        for pi in range(c17_circuit.num_inputs):
+            for fault in lists[pi]:
+                assert fault.node == pi
+                assert fault.value == 0  # good value is 1 everywhere
+
+    def test_tracked_subset_respected(self, c17_circuit):
+        faults = collapsed_fault_list(c17_circuit)[:5]
+        lists = deductive_fault_lists(c17_circuit, faults, [0, 1, 0, 1, 0])
+        tracked = set(faults)
+        for fault_list in lists.values():
+            assert fault_list <= tracked
+
+    def test_vector_width_checked(self, c17_circuit):
+        with pytest.raises(SimulationError):
+            deductive_fault_lists(c17_circuit, [], [0, 1])
+
+    def test_xor_parity_cancellation(self):
+        # A fault reaching both XOR inputs must cancel (even parity).
+        from repro.circuit import Circuit, GateType, compile_circuit
+        from repro.faults import Fault, STEM
+
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("p", GateType.BUF, ("a",))
+        c.add_gate("q", GateType.BUF, ("a",))
+        c.add_gate("y", GateType.XOR, ("p", "q"))
+        c.add_output("y")
+        circ = compile_circuit(c)
+        a = circ.node_of("a")
+        fault = Fault(a, STEM, 0)
+        detected = deductive_detected(circ, [fault], [1])
+        # Flipping `a` flips both XOR inputs: output unchanged.
+        assert fault not in detected

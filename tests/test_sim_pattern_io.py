@@ -1,0 +1,91 @@
+"""Tests for pattern file I/O."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import PatternSet
+from repro.sim.pattern_io import (
+    read_pattern_table,
+    read_patterns,
+    write_pattern_table,
+    write_patterns,
+)
+
+
+class TestBitstringFormat:
+    def test_round_trip(self):
+        original = PatternSet.random(6, 20, seed=4)
+        text = write_patterns(original)
+        loaded = read_patterns(text)
+        assert loaded.words == original.words
+
+    def test_comments_and_blanks_ignored(self):
+        loaded = read_patterns("# header\n101\n\n# mid\n010\n")
+        assert loaded.num_patterns == 2
+        assert loaded.vector(0) == (1, 0, 1)
+
+    def test_bad_characters_rejected(self):
+        with pytest.raises(SimulationError):
+            read_patterns("10X\n")
+
+    def test_ragged_rejected(self):
+        with pytest.raises(SimulationError):
+            read_patterns("101\n10\n")
+
+    def test_empty_needs_width(self):
+        with pytest.raises(SimulationError):
+            read_patterns("# nothing\n")
+        loaded = read_patterns("# nothing\n", num_inputs=3)
+        assert loaded.num_patterns == 0
+
+    def test_file_round_trip(self, tmp_path):
+        original = PatternSet.exhaustive(3)
+        path = tmp_path / "vectors.txt"
+        write_patterns(original, path)
+        assert read_patterns(path).words == original.words
+
+
+class TestTableFormat:
+    def test_round_trip(self, c17_circuit):
+        original = PatternSet.random(5, 12, seed=2)
+        text = write_pattern_table(original, c17_circuit)
+        loaded = read_pattern_table(text, c17_circuit)
+        assert loaded.words == original.words
+
+    def test_header_names_match_circuit(self, c17_circuit):
+        text = write_pattern_table(PatternSet.exhaustive(5), c17_circuit)
+        assert text.splitlines()[0] == "inputs: G1 G2 G3 G6 G7"
+
+    def test_column_permutation_honored(self, c17_circuit):
+        # Swap two columns in the file; values must land on the right PIs.
+        text = "inputs: G2 G1 G3 G6 G7\n1 0 0 0 0\n"
+        loaded = read_pattern_table(text, c17_circuit)
+        assert loaded.vector(0) == (0, 1, 0, 0, 0)  # G1=0, G2=1
+
+    def test_wrong_columns_rejected(self, c17_circuit):
+        with pytest.raises(SimulationError):
+            read_pattern_table("inputs: a b c d e\n0 0 0 0 0\n", c17_circuit)
+
+    def test_missing_header_rejected(self, c17_circuit):
+        with pytest.raises(SimulationError):
+            read_pattern_table("0 0 0 0 0\n", c17_circuit)
+
+    def test_cell_count_checked(self, c17_circuit):
+        with pytest.raises(SimulationError):
+            read_pattern_table("inputs: G1 G2 G3 G6 G7\n0 0 0\n", c17_circuit)
+
+    def test_non_integer_cell_rejected(self, c17_circuit):
+        with pytest.raises(SimulationError):
+            read_pattern_table(
+                "inputs: G1 G2 G3 G6 G7\n0 0 x 0 0\n", c17_circuit
+            )
+
+    def test_width_mismatch_on_write(self, c17_circuit):
+        with pytest.raises(SimulationError):
+            write_pattern_table(PatternSet.exhaustive(3), c17_circuit)
+
+    def test_file_round_trip(self, tmp_path, c17_circuit):
+        original = PatternSet.random(5, 8, seed=9)
+        path = tmp_path / "table.txt"
+        write_pattern_table(original, c17_circuit, path)
+        assert read_pattern_table(path, c17_circuit).words == original.words

@@ -1,0 +1,102 @@
+"""Tests for 3-valued (0/1/X) simulation."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuit import GateType, eval_gate
+from repro.errors import SimulationError
+from repro.sim import ONE, X, ZERO, eval_gate3, simulate3
+from repro.sim.threeval import eval_gate3 as eval3
+
+
+class TestEvalGate3:
+    def test_matches_binary_on_defined_inputs(self):
+        for gtype in (GateType.AND, GateType.NAND, GateType.OR,
+                      GateType.NOR, GateType.XOR, GateType.XNOR):
+            for bits in itertools.product((0, 1), repeat=3):
+                assert eval3(gtype, list(bits)) == eval_gate(gtype, list(bits))
+
+    def test_controlling_value_beats_x(self):
+        assert eval3(GateType.AND, [ZERO, X]) == ZERO
+        assert eval3(GateType.NAND, [ZERO, X]) == ONE
+        assert eval3(GateType.OR, [ONE, X]) == ONE
+        assert eval3(GateType.NOR, [ONE, X]) == ZERO
+
+    def test_noncontrolling_with_x_is_x(self):
+        assert eval3(GateType.AND, [ONE, X]) == X
+        assert eval3(GateType.OR, [ZERO, X]) == X
+
+    def test_xor_any_x_is_x(self):
+        assert eval3(GateType.XOR, [ONE, X]) == X
+        assert eval3(GateType.XNOR, [X, ZERO]) == X
+
+    def test_not_buf(self):
+        assert eval3(GateType.NOT, [X]) == X
+        assert eval3(GateType.NOT, [ONE]) == ZERO
+        assert eval3(GateType.BUF, [X]) == X
+
+    def test_constants_ignore_x(self):
+        assert eval3(GateType.CONST0, []) == ZERO
+        assert eval3(GateType.CONST1, []) == ONE
+
+    @given(st.lists(st.sampled_from([ZERO, ONE, X]), min_size=2, max_size=5))
+    def test_x_monotonicity(self, values):
+        """Refining an X input never flips a defined output (only X->0/1)."""
+        for gtype in (GateType.AND, GateType.OR, GateType.XOR, GateType.NAND):
+            before = eval3(gtype, values)
+            for i, v in enumerate(values):
+                if v != X:
+                    continue
+                for refined in (ZERO, ONE):
+                    after = eval3(
+                        gtype, values[:i] + [refined] + values[i + 1:]
+                    )
+                    if before != X:
+                        assert after == before
+
+
+class TestSimulate3:
+    def test_fully_defined_matches_binary(self, small_circuit):
+        from repro.sim import simulate_vector
+
+        vec = [i % 2 for i in range(small_circuit.num_inputs)]
+        binary = simulate_vector(small_circuit, vec)
+        three = simulate3(small_circuit, vec)
+        assert three == [v & 1 for v in binary]
+
+    def test_all_x_inputs(self, c17_circuit):
+        values = simulate3(c17_circuit, [X] * 5)
+        assert all(v == X for v in values)
+
+    def test_partial_implication(self, c17_circuit):
+        # G3=0 forces G10=G11=1 regardless of the X inputs.
+        values = simulate3(c17_circuit, [X, X, ZERO, X, X])
+        assert values[c17_circuit.node_of("G10")] == ONE
+        assert values[c17_circuit.node_of("G11")] == ONE
+
+    def test_bad_value_rejected(self, c17_circuit):
+        with pytest.raises(SimulationError):
+            simulate3(c17_circuit, [0, 1, 3, 0, 1])
+
+    def test_wrong_arity_rejected(self, c17_circuit):
+        with pytest.raises(SimulationError):
+            simulate3(c17_circuit, [0, 1])
+
+    def test_x_soundness_against_completions(self, mux_circuit):
+        """A defined 3-valued output is correct for every X completion."""
+        from repro.sim import simulate_vector
+
+        assignment = [X, ONE, X]  # sel=X, a=1, b=X
+        three = simulate3(mux_circuit, assignment)
+        x_positions = [i for i, v in enumerate(assignment) if v == X]
+        for completion in itertools.product((0, 1), repeat=len(x_positions)):
+            vec = list(assignment)
+            for pos, bit in zip(x_positions, completion):
+                vec[pos] = bit
+            binary = simulate_vector(mux_circuit, vec)
+            for node in range(mux_circuit.num_nodes):
+                if three[node] != X:
+                    assert three[node] == binary[node] & 1
