@@ -1,18 +1,28 @@
 """Ablation: big-int vs numpy uint64 simulation backends (DESIGN.md §4).
 
-The package standardizes on Python big-ints (one Python-level op per gate
-regardless of pattern count); this benchmark quantifies that choice
-against the vectorized numpy backend at several pattern widths.
+Two layers are ablated here:
+
+* **true-value simulation** — the raw word packing (one Python big-int op
+  per gate vs vectorized ``uint64`` rows) at several pattern widths;
+* **fault simulation** — the registered engines of
+  :mod:`repro.fsim.backend` (``bigint`` event-driven PPSFP vs ``numpy``
+  levelized batches) on a full no-dropping detection-word sweep, the ADI
+  pipeline's hot shape.  ``benchmarks/bench_fsim_backends.py`` is the
+  dedicated A/B harness with JSON output; this module keeps the ablation
+  alongside the other DESIGN.md studies.
 """
 
 import pytest
 
 from repro.experiments import build_circuit
+from repro.faults import collapsed_fault_list
+from repro.fsim.backend import available_backends, create_backend
 from repro.sim import PatternSet, simulate
 from repro.sim import npsim
 
 CIRCUIT = "irs641"
 WIDTHS = (64, 1024, 8192)
+FSIM_WIDTH = 256
 
 
 @pytest.fixture(scope="module")
@@ -33,6 +43,15 @@ def test_bench_backend_numpy(benchmark, circ, width):
     benchmark(npsim.simulate_matrix, circ, matrix)
 
 
+@pytest.mark.parametrize("width", WIDTHS)
+def test_bench_backend_numpy_levelized(benchmark, circ, width):
+    patterns = PatternSet.random(circ.num_inputs, width, seed=width)
+    matrix = npsim.words_to_matrix(patterns.words, width)
+    schedule = npsim.LevelSchedule(circ)
+    benchmark(npsim.simulate_matrix_levelized, circ, matrix,
+              schedule=schedule)
+
+
 def test_backends_agree(benchmark, circ):
     patterns = PatternSet.random(circ.num_inputs, 512, seed=9)
 
@@ -43,3 +62,14 @@ def test_backends_agree(benchmark, circ):
         return a
 
     benchmark.pedantic(both, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("backend_name",
+                         sorted(set(available_backends()) - {"auto"}))
+def test_bench_fsim_backend_sweep(benchmark, circ, backend_name):
+    """Registered fault-sim engines on a full detection-word sweep."""
+    faults = collapsed_fault_list(circ)
+    patterns = PatternSet.random(circ.num_inputs, FSIM_WIDTH, seed=FSIM_WIDTH)
+    engine = create_backend(circ, backend_name)
+    engine.load(patterns)
+    benchmark(engine.detection_words, faults)

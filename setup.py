@@ -1,12 +1,29 @@
-"""Legacy setup shim.
+"""Packaging for the ADI reproduction.
 
-The sandbox this repo targets ships setuptools without the ``wheel``
-package, so PEP 517 editable installs (which must build a wheel) fail.
-This shim lets ``pip install -e . --no-build-isolation --no-use-pep517``
-fall back to setuptools develop mode.  All metadata lives in
-``pyproject.toml``.
+Metadata lives here (not in a ``[project]`` table) because the sandbox
+this repo targets ships setuptools without the ``wheel`` package, so PEP
+517 editable installs (which must build a wheel) fail.  This setup lets
+``pip install -e . --no-build-isolation --no-use-pep517`` fall back to
+setuptools develop mode; ``pyproject.toml`` carries only the build-system
+declaration and tool configuration.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-adi",
+    version="0.2.0",
+    description=(
+        "Reproduction of 'The Accidental Detection Index as a Fault "
+        "Ordering Heuristic for Full-Scan Circuits' (DATE 2005)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=[
+        "numpy",
+    ],
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+)

@@ -17,11 +17,11 @@ broken by original position, mirroring the static orders.
 from __future__ import annotations
 
 import heapq
-from typing import List
+from typing import List, Sequence
 
 import numpy as np
 
-from repro.adi.index import AdiMode, AdiResult
+from repro.adi.index import AdiMode, AdiResult, compute_adi
 
 
 def _dynamic_core(result: AdiResult, active: List[int]) -> List[int]:
@@ -80,6 +80,23 @@ def f0dynm(result: AdiResult) -> List[int]:
     nonzero = [i for i in range(len(result.faults)) if result.adi[i] != 0]
     zeros = [i for i in range(len(result.faults)) if result.adi[i] == 0]
     return zeros + _dynamic_core(result, nonzero)
+
+
+def dynamic_order(circ, faults: Sequence, patterns,
+                  variant: str = "dynm",
+                  mode: AdiMode = AdiMode.MINIMUM,
+                  backend=None) -> List[int]:
+    """One-shot ``Fdynm``/``F0dynm`` from raw inputs.
+
+    Runs the no-dropping ADI simulation through the selected
+    fault-simulation backend (:mod:`repro.fsim.backend`) and returns the
+    dynamic permutation, so callers that only want the order never touch
+    :class:`AdiResult`.  ``variant`` is ``"dynm"`` or ``"0dynm"``.
+    """
+    if variant not in ("dynm", "0dynm"):
+        raise ValueError(f"variant must be 'dynm' or '0dynm', got {variant!r}")
+    result = compute_adi(circ, faults, patterns, mode=mode, backend=backend)
+    return fdynm(result) if variant == "dynm" else f0dynm(result)
 
 
 def dynamic_prefix(result: AdiResult, count: int) -> List[tuple]:

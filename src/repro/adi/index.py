@@ -13,24 +13,26 @@ Definitions, for a target fault set ``F`` and vector set ``U``:
 average of ``ndet(u)`` over ``D(f)`` instead of the minimum (rounded
 down to keep indices integral).
 
-Implementation notes: detection sets are computed by the PPSFP simulator
-as big-int masks, kept alongside numpy index arrays so that ``ADI``
-evaluation and the dynamic-ordering updates are vectorized.
+Implementation notes: detection sets are computed by a fault-simulation
+backend (:mod:`repro.fsim.backend` — ``backend=`` picks the engine, the
+batched numpy engine by default on large problems) as big-int masks, kept
+alongside numpy index arrays so that ``ADI`` evaluation and the
+dynamic-ordering updates are vectorized.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.circuit.flatten import CompiledCircuit
 from repro.errors import SimulationError
 from repro.faults.model import Fault
+from repro.fsim.backend import FaultSimBackend, resolve_backend
 from repro.fsim.parallel import detection_word
-from repro.sim.bitsim import simulate
 from repro.sim.patterns import PatternSet
 from repro.utils.bitvec import bit_indices, bits_to_array
 
@@ -94,12 +96,18 @@ def compute_adi(
     patterns: PatternSet,
     mode: AdiMode = AdiMode.MINIMUM,
     good_values: Optional[List[int]] = None,
+    backend: Union[str, FaultSimBackend, None] = None,
 ) -> AdiResult:
     """Compute ADI for every fault of ``faults`` over ``patterns``.
 
     This is the no-dropping simulation of ``FU`` under ``U`` that Section
     2 prescribes (faults undetected by ``U`` simply end up with an empty
     detection set and ``ADI = 0``).
+
+    ``backend`` selects the fault-simulation engine (name, instance, or
+    ``None`` for the registry default).  ``good_values`` — precomputed
+    fault-free node words — forces the legacy big-int path that can reuse
+    them; leave it ``None`` to let the backend batch the simulation.
     """
     if patterns.num_inputs != circ.num_inputs:
         raise SimulationError(
@@ -107,14 +115,19 @@ def compute_adi(
             f"circuit has {circ.num_inputs}"
         )
     n = patterns.num_patterns
-    if good_values is None:
-        good_values = simulate(circ, patterns)
+    if good_values is not None:
+        words = [
+            detection_word(circ, good_values, fault, n) for fault in faults
+        ]
+    else:
+        engine = resolve_backend(circ, backend)
+        engine.load(patterns)
+        words = engine.detection_words(faults)
 
     masks: List[int] = []
     det_vectors: List[np.ndarray] = []
     ndet = np.zeros(n, dtype=np.int64)
-    for fault in faults:
-        mask = detection_word(circ, good_values, fault, n)
+    for mask in words:
         masks.append(mask)
         if mask:
             ndet += bits_to_array(mask, n)

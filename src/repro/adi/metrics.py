@@ -82,9 +82,13 @@ class CurveReport:
 
 
 def curve_report(circ: CompiledCircuit, faults: Sequence[Fault],
-                 tests: PatternSet) -> CurveReport:
-    """Simulate ``tests`` in order and build a :class:`CurveReport`."""
-    curve = coverage_curve(circ, faults, tests)
+                 tests: PatternSet, backend=None) -> CurveReport:
+    """Simulate ``tests`` in order and build a :class:`CurveReport`.
+
+    ``backend`` selects the fault-simulation engine (see
+    :mod:`repro.fsim.backend`).
+    """
+    curve = coverage_curve(circ, faults, tests, backend=backend)
     return CurveReport(curve=tuple(curve), total_faults=len(faults))
 
 

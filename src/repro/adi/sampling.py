@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence
 from repro.circuit.flatten import CompiledCircuit
 from repro.errors import SimulationError
 from repro.faults.model import Fault
+from repro.fsim.backend import FaultSimBackend
 from repro.fsim.dropping import DropSimResult, drop_simulate
 from repro.sim.patterns import PatternSet
 
@@ -57,11 +58,13 @@ def select_u(
     chunk_size: int = 64,
     prune_useless: bool = False,
     patterns: Optional[PatternSet] = None,
+    backend: "str | FaultSimBackend | None" = None,
 ) -> USelection:
     """Choose ``U`` by the paper's truncated random-simulation procedure.
 
     ``patterns`` overrides the random candidate pool (used by the worked
-    example, which supplies the 16 exhaustive vectors of ``lion``).
+    example, which supplies the 16 exhaustive vectors of ``lion``);
+    ``backend`` selects the fault-simulation engine for the dropping run.
     """
     if not 0.0 < target_coverage <= 1.0:
         raise SimulationError("target_coverage must be in (0, 1]")
@@ -77,6 +80,7 @@ def select_u(
         circ, faults, patterns,
         chunk_size=chunk_size,
         stop_fraction=target_coverage,
+        backend=backend,
     )
     selected = patterns.take(result.num_simulated)
 

@@ -26,8 +26,7 @@ from repro.circuit.flatten import CompiledCircuit
 from repro.errors import AtpgError
 from repro.faults.model import Fault
 from repro.faults.sets import FaultStatus
-from repro.fsim.parallel import detection_word
-from repro.sim.bitsim import simulate
+from repro.fsim.backend import resolve_backend
 from repro.sim.patterns import PatternSet
 from repro.utils.rng import make_rng
 
@@ -38,12 +37,15 @@ class TestGenConfig:
 
     ``backtrack_limit`` bounds PODEM per fault (aborted faults stay in the
     list but are not retargeted); ``fill`` is the X-fill policy
-    (``random``/``zero``/``one``); ``seed`` drives the fill RNG.
+    (``random``/``zero``/``one``); ``seed`` drives the fill RNG;
+    ``backend`` names the fault-simulation engine used for dropping
+    (``None`` — registry default, see :mod:`repro.fsim.backend`).
     """
 
     backtrack_limit: int = 200
     fill: str = "random"
     seed: int = 0
+    backend: Optional[str] = None
 
 
 @dataclass
@@ -113,6 +115,7 @@ def generate_tests(
         raise AtpgError("ordered fault list contains duplicates")
 
     engine = PodemEngine(circ, scoap=scoap)
+    dropper = resolve_backend(circ, config.backend)
     fill_rng = make_rng(config.seed, f"fill:{circ.name}")
     status: Dict[Fault, FaultStatus] = {
         f: FaultStatus.UNDETECTED for f in ordered_faults
@@ -139,15 +142,17 @@ def generate_tests(
 
         vector = fill_cube(result.cube, config.fill, fill_rng)
         pattern = PatternSet.from_vectors([vector], circ.num_inputs)
-        good = simulate(circ, pattern)
+        dropper.load(pattern)
+        # Aborted faults stay in the simulation list: a later test may
+        # still detect them accidentally, as in any real flow.
+        candidates = [
+            other for other, other_status in status.items()
+            if other_status in (FaultStatus.UNDETECTED, FaultStatus.ABORTED)
+        ]
         dropped = 0
-        for other, other_status in status.items():
-            # Aborted faults stay in the simulation list: a later test
-            # may still detect them accidentally, as in any real flow.
-            if other_status not in (FaultStatus.UNDETECTED,
-                                    FaultStatus.ABORTED):
-                continue
-            if detection_word(circ, good, other, 1):
+        for other, word in zip(candidates,
+                               dropper.detection_words(candidates)):
+            if word:
                 status[other] = FaultStatus.DETECTED
                 dropped += 1
         if status[fault] != FaultStatus.DETECTED:

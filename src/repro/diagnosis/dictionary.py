@@ -22,13 +22,12 @@ that quantity from a pass/fail dictionary.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Sequence, Tuple, Union
 
 from repro.circuit.flatten import CompiledCircuit
 from repro.errors import SimulationError
 from repro.faults.model import Fault
-from repro.fsim.parallel import detection_word
-from repro.sim.bitsim import simulate
+from repro.fsim.backend import FaultSimBackend, detection_words
 from repro.sim.patterns import PatternSet
 from repro.utils.bitvec import iter_bits
 
@@ -71,18 +70,21 @@ class FaultDictionary:
 
 def build_pass_fail_dictionary(circ: CompiledCircuit,
                                faults: Sequence[Fault],
-                               tests: PatternSet) -> PassFailDictionary:
-    """Simulate every fault against the test set (no dropping)."""
+                               tests: PatternSet,
+                               backend: Union[str, FaultSimBackend, None] = None
+                               ) -> PassFailDictionary:
+    """Simulate every fault against the test set (no dropping).
+
+    ``backend`` selects the fault-simulation engine — dictionary builds
+    are whole-fault-universe batch jobs, exactly the shape the batched
+    numpy engine is fastest at.
+    """
     if tests.num_inputs != circ.num_inputs:
         raise SimulationError(
             f"test set has {tests.num_inputs} inputs, "
             f"circuit has {circ.num_inputs}"
         )
-    good = simulate(circ, tests)
-    masks = tuple(
-        detection_word(circ, good, fault, tests.num_patterns)
-        for fault in faults
-    )
+    masks = tuple(detection_words(circ, faults, tests, backend=backend))
     return PassFailDictionary(
         num_tests=tests.num_patterns,
         faults=tuple(faults),

@@ -46,16 +46,23 @@ class PreparedCircuit:
 
 
 class ExperimentRunner:
-    """Memoizing driver for the whole experiment pipeline."""
+    """Memoizing driver for the whole experiment pipeline.
+
+    ``fsim_backend`` names the fault-simulation engine every stage uses
+    (``None`` — registry default, honouring ``REPRO_FSIM_BACKEND``); one
+    argument switches the whole pipeline (see :mod:`repro.fsim.backend`).
+    """
 
     def __init__(self, seed: int = 2005,
                  max_vectors: int = 10_000,
                  target_coverage: float = 0.90,
-                 backtrack_limit: int = 200):
+                 backtrack_limit: int = 200,
+                 fsim_backend: Optional[str] = None):
         self.seed = seed
         self.max_vectors = max_vectors
         self.target_coverage = target_coverage
         self.backtrack_limit = backtrack_limit
+        self.fsim_backend = fsim_backend
         self._prepared: Dict[str, PreparedCircuit] = {}
         self._testgen: Dict[Tuple[str, str], TestGenResult] = {}
         self._curves: Dict[Tuple[str, str], CurveReport] = {}
@@ -72,8 +79,10 @@ class ExperimentRunner:
                 seed=self.seed,
                 max_vectors=self.max_vectors,
                 target_coverage=self.target_coverage,
+                backend=self.fsim_backend,
             )
-            adi = compute_adi(circ, faults, selection.patterns)
+            adi = compute_adi(circ, faults, selection.patterns,
+                              backend=self.fsim_backend)
             self._prepared[name] = PreparedCircuit(
                 circuit=circ, faults=faults, selection=selection, adi=adi
             )
@@ -99,6 +108,7 @@ class ExperimentRunner:
                 backtrack_limit=self.backtrack_limit,
                 fill="random",
                 seed=self.seed,
+                backend=self.fsim_backend,
             )
             self._testgen[key] = generate_tests(
                 prepared.circuit, ordered, config
@@ -112,7 +122,8 @@ class ExperimentRunner:
             prepared = self.prepare(name)
             result = self.testgen(name, order)
             self._curves[key] = curve_report(
-                prepared.circuit, prepared.faults, result.tests
+                prepared.circuit, prepared.faults, result.tests,
+                backend=self.fsim_backend,
             )
         return self._curves[key]
 

@@ -1,6 +1,24 @@
 """Fault simulation engines: serial oracle, PPSFP, deductive, dropping,
-n-detection."""
+n-detection — and the unified backend registry that fronts them.
 
+Hot-path consumers (ADI, dropping, ATPG, dictionaries) select an engine
+through :mod:`repro.fsim.backend`: ``bigint`` (event-driven big-int
+PPSFP), ``numpy`` (batched word-parallel, :mod:`repro.fsim.npfsim`) or
+``auto`` (threshold dispatch, the default).  Set ``REPRO_FSIM_BACKEND``
+or pass ``backend=`` to switch the whole pipeline.
+"""
+
+from repro.fsim.backend import (
+    BACKEND_ENV_VAR,
+    AutoFaultSim,
+    BackendCapabilities,
+    FaultSimBackend,
+    available_backends,
+    create_backend,
+    default_backend_name,
+    register_backend,
+    resolve_backend,
+)
 from repro.fsim.deductive import (
     deductive_detected,
     deductive_drop_simulate,
@@ -8,6 +26,7 @@ from repro.fsim.deductive import (
 )
 from repro.fsim.dropping import DropSimResult, coverage_curve, drop_simulate
 from repro.fsim.ndetect import detection_counts, ndet_per_vector, redundancy_candidates
+from repro.fsim.npfsim import NumpyFaultSim
 from repro.fsim.parallel import (
     ParallelFaultSimulator,
     detection_word,
@@ -23,12 +42,20 @@ from repro.fsim.serial import (
 )
 
 __all__ = [
+    "AutoFaultSim",
+    "BACKEND_ENV_VAR",
+    "BackendCapabilities",
     "DropSimResult",
+    "FaultSimBackend",
+    "NumpyFaultSim",
     "ParallelFaultSimulator",
+    "available_backends",
     "coverage_curve",
+    "create_backend",
     "deductive_detected",
     "deductive_drop_simulate",
     "deductive_fault_lists",
+    "default_backend_name",
     "detected_set_serial",
     "detection_counts",
     "detection_word",
@@ -40,5 +67,7 @@ __all__ = [
     "ndet_per_vector",
     "output_response",
     "redundancy_candidates",
+    "register_backend",
+    "resolve_backend",
     "simulate_with_fault",
 ]

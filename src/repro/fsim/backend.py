@@ -1,0 +1,248 @@
+"""Unified fault-simulation backend layer.
+
+Every pipeline stage that needs detection words — ADI computation,
+n-detection analysis, fault dropping, ordered test generation, fault
+dictionaries — goes through one engine contract instead of calling a
+specific simulator:
+
+* :class:`FaultSimBackend` — the protocol: bind a circuit, ``load`` a
+  pattern block, answer ``detection_word`` / ``detection_words`` queries
+  (bit ``p`` set iff pattern ``p`` detects the fault, identical across
+  backends, property-tested).
+* a **registry** — backends register under a short name; consumers take a
+  ``backend=`` argument (name or instance) and resolve it here, so one
+  argument — or the ``REPRO_FSIM_BACKEND`` environment variable — switches
+  the whole pipeline.
+
+Registered backends:
+
+``bigint``
+    The event-driven PPSFP engine of :mod:`repro.fsim.parallel`: one
+    Python big-int word per node, per-fault propagation that stops as
+    soon as the faulty/fault-free difference dies.  Cheapest for single
+    faults and narrow blocks.
+``numpy``
+    The word-parallel batched engine of :mod:`repro.fsim.npfsim`:
+    patterns packed into ``uint64`` words, whole *batches* of faults
+    propagated level-by-level with masked numpy ops.  Fastest for large
+    circuits × many faults × wide blocks.
+``auto``
+    :class:`AutoFaultSim` — picks per query using circuit size, fault
+    count and block width thresholds.  The default.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Union, runtime_checkable
+
+from repro.circuit.flatten import CompiledCircuit
+from repro.errors import SimulationError
+from repro.faults.model import Fault
+from repro.sim.patterns import PatternSet
+
+#: Environment variable naming the default backend for the whole process.
+BACKEND_ENV_VAR = "REPRO_FSIM_BACKEND"
+
+#: Backend used when neither ``backend=`` nor the env var says otherwise.
+DEFAULT_BACKEND = "auto"
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """Static traits consumers may use to pick or tune a backend.
+
+    ``batched`` — ``detection_words`` is amortized over fault batches
+    (faster than a loop of ``detection_word`` calls).
+    ``incremental`` — single-fault queries are cheap (event-driven with
+    early exit), so interleaving queries with dropping costs little.
+    """
+
+    batched: bool
+    incremental: bool
+    description: str = ""
+
+
+@runtime_checkable
+class FaultSimBackend(Protocol):
+    """The engine contract every fault-simulation backend implements.
+
+    Lifecycle: construct with a :class:`CompiledCircuit`, :meth:`load` a
+    pattern block, then query detection words.  ``load`` may be called
+    again with a new block at any time; queries always refer to the most
+    recently loaded block.
+    """
+
+    name: str
+    capabilities: BackendCapabilities
+    circ: CompiledCircuit
+
+    def load(self, patterns: PatternSet) -> None:
+        """Simulate the fault-free circuit for a pattern block."""
+
+    @property
+    def num_patterns(self) -> int:
+        """Width of the loaded block (0 before :meth:`load`)."""
+
+    def detection_word(self, fault: Fault) -> int:
+        """Bit ``p`` set iff loaded pattern ``p`` detects ``fault``."""
+
+    def detection_words(self, faults: Sequence[Fault]) -> List[int]:
+        """Detection word per fault, in input order."""
+
+
+BackendFactory = Callable[[CompiledCircuit], FaultSimBackend]
+
+_REGISTRY: Dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str, factory: BackendFactory,
+                     replace: bool = False) -> None:
+    """Register a backend factory under ``name``.
+
+    Third-party engines plug in here; ``replace=True`` allows overriding
+    a built-in (used by tests to stub engines).
+    """
+    if not replace and name in _REGISTRY:
+        raise SimulationError(f"fault-sim backend {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> List[str]:
+    """Registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def default_backend_name() -> str:
+    """The process-wide default: ``$REPRO_FSIM_BACKEND`` or ``auto``."""
+    return os.environ.get(BACKEND_ENV_VAR, "").strip() or DEFAULT_BACKEND
+
+
+def create_backend(circ: CompiledCircuit,
+                   backend: Optional[str] = None) -> FaultSimBackend:
+    """Instantiate a backend by name (default: :func:`default_backend_name`)."""
+    name = backend or default_backend_name()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown fault-sim backend {name!r}; "
+            f"available: {available_backends()}"
+        ) from None
+    return factory(circ)
+
+
+def resolve_backend(circ: CompiledCircuit,
+                    backend: Union[str, FaultSimBackend, None] = None
+                    ) -> FaultSimBackend:
+    """Turn a ``backend=`` argument into a bound engine instance.
+
+    Accepts ``None`` (default backend), a registry name, or an already
+    constructed backend instance (which must be bound to ``circ``).
+    """
+    if backend is None or isinstance(backend, str):
+        return create_backend(circ, backend)
+    if getattr(backend, "circ", None) is not circ:
+        raise SimulationError(
+            f"backend {getattr(backend, 'name', backend)!r} is bound to a "
+            "different circuit"
+        )
+    return backend
+
+
+def detection_words(circ: CompiledCircuit, faults: Sequence[Fault],
+                    patterns: PatternSet,
+                    backend: Union[str, FaultSimBackend, None] = None
+                    ) -> List[int]:
+    """One-shot convenience: load ``patterns``, query all ``faults``."""
+    engine = resolve_backend(circ, backend)
+    engine.load(patterns)
+    return engine.detection_words(faults)
+
+
+class AutoFaultSim:
+    """Threshold-based dispatcher over the bigint and numpy engines.
+
+    The numpy engine wins when there is enough work to amortize array
+    set-up — batch queries on big circuits over wide blocks; the bigint
+    engine wins for single-fault queries and small problems thanks to its
+    event-driven early exit.  Both engines are created lazily and share
+    the loaded pattern block.
+    """
+
+    name = "auto"
+    capabilities = BackendCapabilities(
+        batched=True, incremental=True,
+        description="dispatches to bigint/numpy by problem size",
+    )
+
+    #: Batch queries below any of these thresholds go to the bigint engine.
+    MIN_FAULTS = 24
+    MIN_GATES = 48
+    MIN_PATTERNS = 16
+
+    def __init__(self, circ: CompiledCircuit):
+        self.circ = circ
+        self._patterns: Optional[PatternSet] = None
+        self._engines: Dict[str, FaultSimBackend] = {}
+        self._loaded: Dict[str, bool] = {}
+
+    def load(self, patterns: PatternSet) -> None:
+        """Stage a pattern block; sub-engines simulate it on first use."""
+        self._patterns = patterns
+        self._loaded = {}
+
+    @property
+    def num_patterns(self) -> int:
+        """Width of the staged block."""
+        return self._patterns.num_patterns if self._patterns else 0
+
+    def _engine(self, name: str) -> FaultSimBackend:
+        if self._patterns is None:
+            raise SimulationError("no pattern block loaded; call load() first")
+        engine = self._engines.get(name)
+        if engine is None:
+            engine = create_backend(self.circ, name)
+            self._engines[name] = engine
+        if not self._loaded.get(name):
+            engine.load(self._patterns)
+            self._loaded[name] = True
+        return engine
+
+    def _pick(self, num_faults: int) -> str:
+        if (num_faults >= self.MIN_FAULTS
+                and self.circ.num_gates >= self.MIN_GATES
+                and self.num_patterns >= self.MIN_PATTERNS):
+            return "numpy"
+        return "bigint"
+
+    def detection_word(self, fault: Fault) -> int:
+        """Single-fault query — always the event-driven bigint engine."""
+        return self._engine("bigint").detection_word(fault)
+
+    def detection_words(self, faults: Sequence[Fault]) -> List[int]:
+        """Batch query, dispatched by :meth:`_pick`."""
+        return self._engine(self._pick(len(faults))).detection_words(faults)
+
+    @property
+    def good_values(self) -> List[int]:
+        """Fault-free node words of the loaded block (bigint engine's)."""
+        return self._engine("bigint").good_values
+
+
+def _bigint_factory(circ: CompiledCircuit) -> FaultSimBackend:
+    from repro.fsim.parallel import ParallelFaultSimulator
+
+    return ParallelFaultSimulator(circ)
+
+
+def _numpy_factory(circ: CompiledCircuit) -> FaultSimBackend:
+    from repro.fsim.npfsim import NumpyFaultSim
+
+    return NumpyFaultSim(circ)
+
+
+register_backend("bigint", _bigint_factory)
+register_backend("numpy", _numpy_factory)
+register_backend("auto", AutoFaultSim)

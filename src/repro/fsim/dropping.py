@@ -17,13 +17,12 @@ This single routine powers three of the paper's needs:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.circuit.flatten import CompiledCircuit
 from repro.errors import SimulationError
 from repro.faults.model import Fault
-from repro.fsim.parallel import detection_word
-from repro.sim.bitsim import simulate
+from repro.fsim.backend import FaultSimBackend, resolve_backend
 from repro.sim.patterns import PatternSet
 
 
@@ -81,6 +80,7 @@ def drop_simulate(
     patterns: PatternSet,
     chunk_size: int = 64,
     stop_fraction: Optional[float] = None,
+    backend: Union[str, FaultSimBackend, None] = None,
 ) -> DropSimResult:
     """Simulate ``patterns`` in order with fault dropping.
 
@@ -88,6 +88,9 @@ def drop_simulate(
     whose detections push coverage to at least that fraction of
     ``len(faults)``; faults first detected by later vectors stay
     undetected, matching the paper's truncation of ``U``.
+
+    ``backend`` selects the fault-simulation engine used per chunk (see
+    :mod:`repro.fsim.backend`).
     """
     if stop_fraction is not None and not 0.0 < stop_fraction <= 1.0:
         raise SimulationError("stop_fraction must be in (0, 1]")
@@ -102,16 +105,17 @@ def drop_simulate(
         target = -(-total * stop_fraction // 1)
         target = int(target)
 
+    engine = resolve_backend(circ, backend)
     remaining: List[Fault] = list(faults)
     detected_count = 0
     base = 0
     for chunk in patterns.chunks(chunk_size):
-        good = simulate(circ, chunk)
+        engine.load(chunk)
         width = chunk.num_patterns
         survivors: List[Fault] = []
         chunk_hits: List[Tuple[int, Fault]] = []
-        for fault in remaining:
-            word = detection_word(circ, good, fault, width)
+        words = engine.detection_words(remaining)
+        for fault, word in zip(remaining, words):
             if word:
                 first = (word & -word).bit_length() - 1
                 chunk_hits.append((first, fault))
@@ -159,9 +163,12 @@ def drop_simulate(
 
 
 def coverage_curve(circ: CompiledCircuit, faults: Sequence[Fault],
-                   tests: PatternSet, chunk_size: int = 64) -> List[int]:
+                   tests: PatternSet, chunk_size: int = 64,
+                   backend: Union[str, FaultSimBackend, None] = None
+                   ) -> List[int]:
     """The paper's ``nord(i)`` sequence for a test set, full length."""
-    result = drop_simulate(circ, faults, tests, chunk_size=chunk_size)
+    result = drop_simulate(circ, faults, tests, chunk_size=chunk_size,
+                           backend=backend)
     curve = result.coverage_curve()
     # drop_simulate may exit early when everything is detected; pad the
     # curve so it always has one entry per test vector.

@@ -9,30 +9,29 @@ estimator, benchmarked as an ablation against the exact one.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.circuit.flatten import CompiledCircuit
 from repro.errors import SimulationError
 from repro.faults.model import Fault
-from repro.fsim.parallel import detection_word
-from repro.sim.bitsim import simulate
+from repro.fsim.backend import FaultSimBackend, detection_words
 from repro.sim.patterns import PatternSet
 from repro.utils.bitvec import iter_bits
 
+BackendArg = Union[str, FaultSimBackend, None]
+
 
 def detection_counts(circ: CompiledCircuit, faults: Sequence[Fault],
-                     patterns: PatternSet, n: Optional[int] = None
-                     ) -> Dict[Fault, int]:
+                     patterns: PatternSet, n: Optional[int] = None,
+                     backend: BackendArg = None) -> Dict[Fault, int]:
     """Per-fault detection counts, capped at ``n`` (uncapped when None)."""
     if n is not None and n < 1:
         raise SimulationError("n must be >= 1")
-    good = simulate(circ, patterns)
-    width = patterns.num_patterns
+    words = detection_words(circ, faults, patterns, backend=backend)
     counts: Dict[Fault, int] = {}
-    for fault in faults:
-        word = detection_word(circ, good, fault, width)
+    for fault, word in zip(faults, words):
         count = word.bit_count()
         if n is not None and count > n:
             count = n
@@ -41,8 +40,8 @@ def detection_counts(circ: CompiledCircuit, faults: Sequence[Fault],
 
 
 def ndet_per_vector(circ: CompiledCircuit, faults: Sequence[Fault],
-                    patterns: PatternSet, n: Optional[int] = None
-                    ) -> np.ndarray:
+                    patterns: PatternSet, n: Optional[int] = None,
+                    backend: BackendArg = None) -> np.ndarray:
     """``ndet(u)`` for every vector ``u``.
 
     With ``n=None`` this is the paper's exact definition: simulation of
@@ -52,11 +51,9 @@ def ndet_per_vector(circ: CompiledCircuit, faults: Sequence[Fault],
     """
     if n is not None and n < 1:
         raise SimulationError("n must be >= 1")
-    good = simulate(circ, patterns)
     width = patterns.num_patterns
     ndet = np.zeros(width, dtype=np.int64)
-    for fault in faults:
-        word = detection_word(circ, good, fault, width)
+    for word in detection_words(circ, faults, patterns, backend=backend):
         if not word:
             continue
         if n is None:
@@ -73,11 +70,12 @@ def ndet_per_vector(circ: CompiledCircuit, faults: Sequence[Fault],
 
 
 def redundancy_candidates(circ: CompiledCircuit, faults: Sequence[Fault],
-                          patterns: PatternSet) -> List[Fault]:
+                          patterns: PatternSet,
+                          backend: BackendArg = None) -> List[Fault]:
     """Faults never detected by ``patterns`` — candidates for ATPG/proofs.
 
     A helper for redundancy identification flows: random patterns weed out
     the easy faults so the expensive exhaustive ATPG only sees the rest.
     """
-    counts = detection_counts(circ, faults, patterns, n=1)
+    counts = detection_counts(circ, faults, patterns, n=1, backend=backend)
     return [f for f in faults if counts[f] == 0]

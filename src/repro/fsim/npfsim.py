@@ -1,0 +1,216 @@
+"""Batched word-parallel fault simulation on numpy ``uint64`` arrays.
+
+The ``numpy`` entry of the backend registry (:mod:`repro.fsim.backend`).
+Where the big-int PPSFP engine propagates one fault at a time with an
+event queue, this engine re-simulates the whole circuit for a *batch* of
+faults at once:
+
+* the pattern block is packed into ``W = ceil(P / 64)`` ``uint64`` words;
+* the circuit is levelized **once** per backend instance into contiguous
+  per-level gate arrays (:class:`repro.sim.npsim.LevelSchedule`);
+* a value tensor of shape ``(num_nodes, B, W)`` carries ``B`` faulty
+  machines side by side; every level is one numpy gather/op/scatter per
+  (gate type, arity) group, evaluated across all gates of the group, all
+  faults of the batch and all words of the block simultaneously;
+* faults are injected between levels: a stem fault overwrites its node's
+  row with the stuck word after the node's level is evaluated, a branch
+  fault re-evaluates the consuming gate's row with the faulty pin forced;
+* detection words fall out as the OR over primary outputs of
+  ``faulty XOR fault-free``, masked to the block width.
+
+Per gate the work is ``B × W`` machine words in C, so the Python-level
+cost per batch is proportional to the number of *gate groups*, not to
+``gates × faults`` — the asymptotic win the ADI pipeline needs on large
+circuits (see ``benchmarks/bench_fsim_backends.py`` for the measured
+speedup and crossover).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuit.flatten import CompiledCircuit
+from repro.errors import SimulationError
+from repro.faults.model import Fault, check_fault
+from repro.fsim.backend import BackendCapabilities
+from repro.sim.npsim import (
+    ONES64,
+    LevelSchedule,
+    _eval_odd_gate,
+    matrix_row_to_int,
+    simulate_matrix_levelized,
+    words_to_matrix,
+)
+from repro.sim.patterns import PatternSet
+
+#: Soft cap on the value tensor, in bytes; batches are sized to fit.
+DEFAULT_BATCH_BYTES = 128 << 20
+
+#: Hard cap on faults per batch (keeps per-level scatter lists short).
+MAX_BATCH_FAULTS = 1024
+
+
+class NumpyFaultSim:
+    """Batched fault-simulation backend over ``uint64`` pattern words.
+
+    Conforms to :class:`repro.fsim.backend.FaultSimBackend`.  Construction
+    levelizes the circuit; :meth:`load` packs and simulates the fault-free
+    block; :meth:`detection_words` runs batches of full faulty-machine
+    simulations.
+    """
+
+    name = "numpy"
+    capabilities = BackendCapabilities(
+        batched=True, incremental=False,
+        description="levelized uint64 word-parallel batches",
+    )
+
+    def __init__(self, circ: CompiledCircuit,
+                 max_batch_bytes: int = DEFAULT_BATCH_BYTES):
+        self.circ = circ
+        self.schedule = LevelSchedule(circ)
+        self.max_batch_bytes = max_batch_bytes
+        self._good: Optional[np.ndarray] = None  # (num_nodes, W)
+        self._good_ints: Optional[List[int]] = None
+        self._num_patterns = 0
+        self._num_words = 0
+        self._tail_mask = ONES64
+
+    # -- FaultSimBackend interface -------------------------------------------
+
+    def load(self, patterns: PatternSet) -> None:
+        """Pack and simulate the fault-free circuit for a pattern block."""
+        if patterns.num_inputs != self.circ.num_inputs:
+            raise SimulationError(
+                f"{self.circ.name}: pattern set has {patterns.num_inputs} "
+                f"inputs, circuit has {self.circ.num_inputs}"
+            )
+        matrix = words_to_matrix(patterns.words, patterns.num_patterns)
+        self._good = simulate_matrix_levelized(
+            self.circ, matrix, schedule=self.schedule
+        )
+        self._good_ints = None
+        self._num_patterns = patterns.num_patterns
+        self._num_words = matrix.shape[1]
+        tail_bits = patterns.num_patterns - 64 * (self._num_words - 1)
+        self._tail_mask = (
+            ONES64 if tail_bits >= 64
+            else np.uint64((1 << max(tail_bits, 0)) - 1)
+        )
+
+    @property
+    def num_patterns(self) -> int:
+        """Width of the loaded block (0 before :meth:`load`)."""
+        return self._num_patterns
+
+    @property
+    def good_values(self) -> List[int]:
+        """Fault-free node words as big-ints (PPSFP-compatible view)."""
+        good = self._require_loaded()
+        if self._good_ints is None:
+            self._good_ints = [
+                matrix_row_to_int(good[node], self._num_patterns)
+                for node in range(self.circ.num_nodes)
+            ]
+        return self._good_ints
+
+    def detection_word(self, fault: Fault) -> int:
+        """Single-fault query (a batch of one — prefer batched calls)."""
+        return self.detection_words([fault])[0]
+
+    def detection_words(self, faults: Sequence[Fault]) -> List[int]:
+        """Detection word of every fault, in input order, batch-wise."""
+        good = self._require_loaded()
+        for fault in faults:
+            check_fault(self.circ, fault)
+        if not faults:
+            return []
+        if self._num_patterns == 0:
+            return [0] * len(faults)
+        out: List[int] = []
+        batch = self._batch_size()
+        for start in range(0, len(faults), batch):
+            out.extend(self._simulate_batch(good, faults[start:start + batch]))
+        return out
+
+    def detected_faults(self, faults: Sequence[Fault]) -> List[Fault]:
+        """Subset of ``faults`` detected by at least one loaded pattern."""
+        words = self.detection_words(faults)
+        return [f for f, w in zip(faults, words) if w]
+
+    # -- internals ------------------------------------------------------------
+
+    def _require_loaded(self) -> np.ndarray:
+        if self._good is None:
+            raise SimulationError("no pattern block loaded; call load() first")
+        return self._good
+
+    def _batch_size(self) -> int:
+        per_fault = self.circ.num_nodes * max(self._num_words, 1) * 8
+        fit = max(1, self.max_batch_bytes // max(per_fault, 1))
+        return int(min(fit, MAX_BATCH_FAULTS))
+
+    def _simulate_batch(self, good: np.ndarray,
+                        faults: Sequence[Fault]) -> List[int]:
+        circ = self.circ
+        num_batch = len(faults)
+        width = self._num_words
+
+        values = np.empty((circ.num_nodes, num_batch, width), dtype=np.uint64)
+        values[: circ.num_inputs] = good[: circ.num_inputs, None, :]
+
+        # Bucket injections by the level at which they take effect: a stem
+        # fault right after its node's value exists, a branch fault when
+        # the consuming gate is evaluated.
+        stem_rows: Dict[int, List[Tuple[int, int]]] = {}
+        branch_rows: Dict[int, List[Tuple[int, int]]] = {}
+        for row, fault in enumerate(faults):
+            bucket = stem_rows if fault.is_stem else branch_rows
+            bucket.setdefault(circ.level[fault.node], []).append((row, fault.node))
+
+        def inject_stems(level_number: int) -> None:
+            for row, node in stem_rows.get(level_number, ()):
+                fault = faults[row]
+                values[node, row, :] = ONES64 if fault.value else 0
+
+        def inject_branches(level_number: int) -> None:
+            for row, node in branch_rows.get(level_number, ()):
+                fault = faults[row]
+                stuck = (
+                    np.full(width, ONES64, dtype=np.uint64)
+                    if fault.value else np.zeros(width, dtype=np.uint64)
+                )
+                srcs = circ.fanin[node]
+                words = [values[s, row, :] for s in srcs]
+                words[fault.pin] = stuck
+                values[node, row, :] = _eval_gate_rows(
+                    circ, node, words
+                )
+
+        inject_stems(0)  # primary-input stem faults
+        for level in self.schedule.levels:
+            self.schedule.eval_level(level, values)
+            inject_stems(level.number)
+            inject_branches(level.number)
+
+        out_ids = np.asarray(circ.outputs, dtype=np.int64)
+        diff = values[out_ids] ^ good[out_ids][:, None, :]
+        detected = np.bitwise_or.reduce(diff, axis=0)  # (B, W)
+        detected[:, -1] &= self._tail_mask
+        raw = detected.astype("<u8").tobytes()
+        stride = width * 8
+        return [
+            int.from_bytes(raw[row * stride:(row + 1) * stride], "little")
+            for row in range(num_batch)
+        ]
+
+
+def _eval_gate_rows(circ: CompiledCircuit, node: int,
+                    words: List[np.ndarray]) -> np.ndarray:
+    """Evaluate one gate for one fault row, given per-pin word rows."""
+    scratch = np.stack(words)
+    return _eval_odd_gate(
+        circ.node_type[node], scratch, tuple(range(len(words)))
+    )

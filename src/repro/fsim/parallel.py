@@ -23,6 +23,7 @@ from typing import Dict, List, Sequence
 from repro.circuit.flatten import CompiledCircuit
 from repro.errors import SimulationError
 from repro.faults.model import Fault, check_fault
+from repro.fsim.backend import BackendCapabilities
 from repro.sim.bitsim import eval_gate_words, simulate
 from repro.sim.patterns import PatternSet
 from repro.utils.bitvec import full_mask
@@ -110,8 +111,17 @@ class ParallelFaultSimulator:
     """Binds a circuit and reuses fault-free values across fault queries.
 
     Typical use: simulate a pattern block once with :meth:`load`, then ask
-    for many faults' detection words.
+    for many faults' detection words.  This is the ``bigint`` entry of the
+    backend registry (:mod:`repro.fsim.backend`): event-driven per-fault
+    propagation with early exit, cheapest for single-fault queries and
+    small problems.
     """
+
+    name = "bigint"
+    capabilities = BackendCapabilities(
+        batched=False, incremental=True,
+        description="event-driven big-int PPSFP with early exit",
+    )
 
     def __init__(self, circ: CompiledCircuit):
         self.circ = circ
@@ -122,6 +132,11 @@ class ParallelFaultSimulator:
         """Simulate the fault-free circuit for a pattern block."""
         self._good = simulate(self.circ, patterns)
         self._num_patterns = patterns.num_patterns
+
+    @property
+    def num_patterns(self) -> int:
+        """Width of the loaded block (0 before :meth:`load`)."""
+        return self._num_patterns
 
     @property
     def good_values(self) -> List[int]:
@@ -135,6 +150,10 @@ class ParallelFaultSimulator:
         if self._good is None:
             raise SimulationError("no pattern block loaded; call load() first")
         return detection_word(self.circ, self._good, fault, self._num_patterns)
+
+    def detection_words(self, faults: Sequence[Fault]) -> List[int]:
+        """Detection word of every fault (a loop — this engine is per-fault)."""
+        return [self.detection_word(f) for f in faults]
 
     def detected_faults(self, faults: Sequence[Fault]) -> List[Fault]:
         """Subset of ``faults`` detected by at least one loaded pattern."""

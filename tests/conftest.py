@@ -6,16 +6,16 @@ import pytest
 from hypothesis import strategies as st
 
 from repro.circuit import (
-    GeneratorSpec,
     and_chain,
     c17,
-    generate_circuit,
     lion_like,
     mux2,
     redundant_demo,
     ripple_adder,
     xor_tree,
 )
+
+from helpers import generated_circuit
 
 
 @pytest.fixture(scope="session")
@@ -59,20 +59,6 @@ SMALL_CIRCUITS = {
 def small_circuit(request):
     """Parametrized fixture running a test over every small circuit."""
     return SMALL_CIRCUITS[request.param]()
-
-
-def generated_circuit(seed: int, num_inputs: int = 8, num_gates: int = 40,
-                      num_outputs: int = 5, hardness: float = 0.05):
-    """Deterministic small synthetic circuit for randomized tests."""
-    spec = GeneratorSpec(
-        name=f"gen{seed}",
-        num_inputs=num_inputs,
-        num_gates=num_gates,
-        num_outputs=num_outputs,
-        seed=seed,
-        hardness=hardness,
-    )
-    return generate_circuit(spec)
 
 
 #: Hypothesis strategy producing small generated circuits (by seed).

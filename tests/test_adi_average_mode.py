@@ -7,7 +7,7 @@ from repro.adi import AdiMode, compute_adi, f0dynm, fdecr, fdynm
 from repro.faults import collapsed_fault_list
 from repro.sim import PatternSet
 
-from conftest import generated_circuit
+from helpers import generated_circuit
 
 
 @pytest.fixture(scope="module")

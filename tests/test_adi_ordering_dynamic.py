@@ -18,7 +18,7 @@ from repro.adi import (
 from repro.faults import collapsed_fault_list
 from repro.sim import PatternSet
 
-from conftest import generated_circuit
+from helpers import generated_circuit
 
 
 @pytest.fixture(scope="module")

@@ -15,7 +15,7 @@ from repro.faults import collapsed_fault_list
 from repro.fsim import coverage_curve, drop_simulate
 from repro.sim import PatternSet
 
-from conftest import generated_circuit
+from helpers import generated_circuit
 
 
 @pytest.fixture(scope="module")

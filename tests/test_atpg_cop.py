@@ -8,7 +8,7 @@ from repro.faults import Fault, STEM, collapsed_fault_list
 from repro.fsim import detection_counts
 from repro.sim import PatternSet
 
-from conftest import generated_circuit
+from helpers import generated_circuit
 
 
 class TestControllabilityProbabilities:

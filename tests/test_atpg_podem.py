@@ -12,7 +12,7 @@ from repro.faults import collapsed_fault_list, full_universe
 from repro.fsim import detects, detection_words
 from repro.sim import PatternSet, X
 
-from conftest import generated_circuit
+from helpers import generated_circuit
 
 
 def _ground_truth(circ):

@@ -14,7 +14,7 @@ from repro.faults import collapsed_fault_list, full_universe
 from repro.fsim import detection_words, detects
 from repro.sim import PatternSet, X
 
-from conftest import generated_circuit
+from helpers import generated_circuit
 
 
 def _formula(num_vars, clauses):

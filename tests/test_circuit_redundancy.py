@@ -19,7 +19,7 @@ from repro.circuit.redundancy import (
 from repro.faults import collapsed_fault_list
 from repro.sim import PatternSet, simulate_outputs
 
-from conftest import generated_circuit
+from helpers import generated_circuit
 
 
 def _functionally_equal(a, b, num_inputs, samples=512):

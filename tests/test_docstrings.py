@@ -1,0 +1,29 @@
+"""Documentation hygiene: every repro module carries a module docstring.
+
+Each module's docstring states which paper concept (or infrastructure
+role) it implements — the map readers use to navigate the reproduction
+(see docs/architecture.md).  This test keeps that map total.
+"""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_module_names():
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("name", _all_module_names())
+def test_module_has_docstring(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"{name} lacks a module docstring; state which paper concept or "
+        "infrastructure role it implements"
+    )

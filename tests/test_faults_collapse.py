@@ -13,7 +13,7 @@ from repro.faults import Fault, STEM, collapse_faults, collapsed_fault_list, ful
 from repro.fsim.serial import detection_word_serial
 from repro.sim import PatternSet
 
-from conftest import generated_circuit
+from helpers import generated_circuit
 
 
 def _exhaustive_detection(circ, fault):

@@ -18,7 +18,7 @@ from repro.fsim import detection_words
 from repro.sim import PatternSet
 from repro.utils.bitvec import bit_indices
 
-from conftest import generated_circuit
+from helpers import generated_circuit
 
 
 def _covers_universe(circ, targets):

@@ -1,0 +1,281 @@
+"""Backend registry + cross-backend equivalence tests.
+
+The contract under test: every registered backend returns *bit-identical*
+detection words for the same (circuit, faults, patterns) triple.  The
+bigint engine is the oracle (itself property-tested against the serial
+simulator); the numpy and auto engines must match it exactly.
+"""
+
+import pytest
+
+from helpers import generated_circuit
+
+from repro.errors import SimulationError
+from repro.faults import collapsed_fault_list
+from repro.faults.model import Fault
+from repro.fsim import backend as backend_mod
+from repro.fsim.backend import (
+    AutoFaultSim,
+    available_backends,
+    create_backend,
+    default_backend_name,
+    detection_words,
+    register_backend,
+    resolve_backend,
+)
+from repro.fsim.npfsim import NumpyFaultSim
+from repro.fsim.parallel import ParallelFaultSimulator
+from repro.sim.patterns import PatternSet
+
+ALL_BACKENDS = ("bigint", "numpy", "auto")
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(ALL_BACKENDS) <= set(available_backends())
+
+    def test_create_by_name(self, c17_circuit):
+        assert isinstance(create_backend(c17_circuit, "bigint"),
+                          ParallelFaultSimulator)
+        assert isinstance(create_backend(c17_circuit, "numpy"),
+                          NumpyFaultSim)
+        assert isinstance(create_backend(c17_circuit, "auto"), AutoFaultSim)
+
+    def test_unknown_name_raises(self, c17_circuit):
+        with pytest.raises(SimulationError, match="unknown fault-sim backend"):
+            create_backend(c17_circuit, "no-such-engine")
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(SimulationError, match="already registered"):
+            register_backend("bigint", ParallelFaultSimulator)
+
+    def test_env_var_sets_default(self, monkeypatch):
+        monkeypatch.setenv(backend_mod.BACKEND_ENV_VAR, "numpy")
+        assert default_backend_name() == "numpy"
+        monkeypatch.delenv(backend_mod.BACKEND_ENV_VAR)
+        assert default_backend_name() == "auto"
+
+    def test_resolve_passes_instances_through(self, c17_circuit):
+        engine = create_backend(c17_circuit, "bigint")
+        assert resolve_backend(c17_circuit, engine) is engine
+
+    def test_resolve_rejects_foreign_instance(self, c17_circuit, mux_circuit):
+        engine = create_backend(c17_circuit, "bigint")
+        with pytest.raises(SimulationError, match="different circuit"):
+            resolve_backend(mux_circuit, engine)
+
+    def test_query_before_load_raises(self, c17_circuit):
+        fault = Fault(node=0, pin=-1, value=1)
+        for name in ALL_BACKENDS:
+            engine = create_backend(c17_circuit, name)
+            with pytest.raises(SimulationError, match="load"):
+                engine.detection_word(fault)
+
+
+class TestCrossBackendEquivalence:
+    @pytest.mark.parametrize("seed", [3, 17, 92, 480])
+    def test_generated_circuits_bit_identical(self, seed):
+        circ = generated_circuit(seed, num_inputs=8, num_gates=48,
+                                 num_outputs=5)
+        faults = collapsed_fault_list(circ)
+        patterns = PatternSet.random(circ.num_inputs, 96, seed=seed + 1)
+        reference = detection_words(circ, faults, patterns, backend="bigint")
+        for name in ("numpy", "auto"):
+            assert detection_words(circ, faults, patterns,
+                                   backend=name) == reference, name
+
+    def test_small_circuits_exhaustive(self, small_circuit):
+        faults = collapsed_fault_list(small_circuit)
+        patterns = PatternSet.exhaustive(small_circuit.num_inputs)
+        reference = detection_words(small_circuit, faults, patterns,
+                                    backend="bigint")
+        for name in ("numpy", "auto"):
+            assert detection_words(small_circuit, faults, patterns,
+                                   backend=name) == reference, name
+
+    @pytest.mark.parametrize("width", [1, 63, 64, 65, 128, 200])
+    def test_word_boundary_widths(self, width):
+        # 63/64/65 cross the uint64 word boundary of the numpy packing.
+        circ = generated_circuit(7, num_inputs=6, num_gates=40)
+        faults = collapsed_fault_list(circ)
+        patterns = PatternSet.random(circ.num_inputs, width, seed=width)
+        assert (detection_words(circ, faults, patterns, backend="numpy")
+                == detection_words(circ, faults, patterns, backend="bigint"))
+
+    def test_degenerate_arity_gates(self):
+        # Single-input AND/OR and 3-input gates are legal netlists; the
+        # levelized engine must route them down its non-vectorized path.
+        from repro.circuit.flatten import compile_circuit
+        from repro.circuit.gate_types import GateType
+        from repro.circuit.netlist import Circuit
+
+        circuit = Circuit(name="degenerate")
+        for name in ("a", "b", "c"):
+            circuit.add_input(name)
+        circuit.add_gate("g1", GateType.AND, ("a",))
+        circuit.add_gate("g2", GateType.OR, ("b",))
+        circuit.add_gate("g3", GateType.NAND, ("g1", "g2", "c"))
+        circuit.add_gate("g4", GateType.XNOR, ("g3", "a"))
+        circuit.add_output("g4")
+        circ = compile_circuit(circuit)
+
+        faults = collapsed_fault_list(circ)
+        patterns = PatternSet.exhaustive(circ.num_inputs)
+        reference = detection_words(circ, faults, patterns, backend="bigint")
+        for name in ("numpy", "auto"):
+            assert detection_words(circ, faults, patterns,
+                                   backend=name) == reference, name
+
+    def test_good_values_agree(self, c17_circuit):
+        patterns = PatternSet.random(c17_circuit.num_inputs, 40, seed=2)
+        engines = {
+            name: create_backend(c17_circuit, name) for name in ALL_BACKENDS
+        }
+        for engine in engines.values():
+            engine.load(patterns)
+        reference = engines["bigint"].good_values
+        assert engines["numpy"].good_values == reference
+        assert engines["auto"].good_values == reference
+
+
+class TestEdgeCases:
+    def test_empty_pattern_block(self, c17_circuit):
+        faults = collapsed_fault_list(c17_circuit)
+        empty = PatternSet.from_vectors([], c17_circuit.num_inputs)
+        for name in ALL_BACKENDS:
+            engine = create_backend(c17_circuit, name)
+            engine.load(empty)
+            assert engine.num_patterns == 0
+            assert engine.detection_words(faults) == [0] * len(faults), name
+
+    def test_single_pattern_block(self, c17_circuit):
+        faults = collapsed_fault_list(c17_circuit)
+        single = PatternSet.from_vectors([[1, 0, 1, 0, 1]],
+                                         c17_circuit.num_inputs)
+        words = {
+            name: detection_words(c17_circuit, faults, single, backend=name)
+            for name in ALL_BACKENDS
+        }
+        assert words["numpy"] == words["bigint"] == words["auto"]
+        # single-pattern words are 0 or 1 by construction
+        assert all(w in (0, 1) for w in words["bigint"])
+        assert any(words["bigint"])  # c17 has detectable faults
+
+    def test_empty_fault_list(self, c17_circuit):
+        patterns = PatternSet.random(c17_circuit.num_inputs, 8, seed=0)
+        for name in ALL_BACKENDS:
+            engine = create_backend(c17_circuit, name)
+            engine.load(patterns)
+            assert engine.detection_words([]) == []
+
+    def test_numpy_batching_matches_single_batch(self):
+        # Force multi-batch execution and compare against one big batch.
+        circ = generated_circuit(23, num_inputs=8, num_gates=60)
+        faults = collapsed_fault_list(circ)
+        patterns = PatternSet.random(circ.num_inputs, 70, seed=3)
+        one = NumpyFaultSim(circ)
+        one.load(patterns)
+        tiny_batches = NumpyFaultSim(circ, max_batch_bytes=1)
+        tiny_batches.load(patterns)
+        assert tiny_batches._batch_size() == 1
+        assert tiny_batches.detection_words(faults) == \
+            one.detection_words(faults)
+
+    def test_reload_switches_blocks(self, c17_circuit):
+        faults = collapsed_fault_list(c17_circuit)
+        first = PatternSet.random(c17_circuit.num_inputs, 16, seed=4)
+        second = PatternSet.random(c17_circuit.num_inputs, 32, seed=5)
+        for name in ALL_BACKENDS:
+            engine = create_backend(c17_circuit, name)
+            engine.load(first)
+            engine.detection_words(faults)
+            engine.load(second)
+            assert engine.num_patterns == 32
+            assert engine.detection_words(faults) == detection_words(
+                c17_circuit, faults, second, backend="bigint"
+            )
+
+
+class TestPipelineBackendSwitch:
+    """A single backend= argument must switch whole pipeline stages."""
+
+    def test_compute_adi_backend_equivalence(self):
+        from repro.adi import compute_adi
+
+        circ = generated_circuit(31, num_inputs=8, num_gates=48)
+        faults = collapsed_fault_list(circ)
+        patterns = PatternSet.random(circ.num_inputs, 64, seed=6)
+        results = {
+            name: compute_adi(circ, faults, patterns, backend=name)
+            for name in ALL_BACKENDS
+        }
+        reference = results["bigint"]
+        for name in ("numpy", "auto"):
+            assert results[name].detection_masks == reference.detection_masks
+            assert (results[name].adi == reference.adi).all()
+
+    def test_drop_simulate_backend_equivalence(self):
+        from repro.fsim import drop_simulate
+
+        circ = generated_circuit(37, num_inputs=8, num_gates=48)
+        faults = collapsed_fault_list(circ)
+        patterns = PatternSet.random(circ.num_inputs, 128, seed=7)
+        reference = drop_simulate(circ, faults, patterns, backend="bigint")
+        for name in ("numpy", "auto"):
+            result = drop_simulate(circ, faults, patterns, backend=name)
+            assert result.first_detection == reference.first_detection
+            assert result.num_simulated == reference.num_simulated
+
+    def test_generate_tests_backend_equivalence(self):
+        from repro.atpg import TestGenConfig, generate_tests
+
+        circ = generated_circuit(41, num_inputs=8, num_gates=36)
+        faults = collapsed_fault_list(circ)
+        results = {
+            name: generate_tests(
+                circ, faults, TestGenConfig(seed=9, backend=name)
+            )
+            for name in ALL_BACKENDS
+        }
+        reference = results["bigint"]
+        for name in ("numpy", "auto"):
+            assert results[name].tests.words == reference.tests.words
+            assert results[name].status == reference.status
+
+    def test_pass_fail_dictionary_backend_equivalence(self):
+        from repro.diagnosis import build_pass_fail_dictionary
+
+        circ = generated_circuit(43, num_inputs=8, num_gates=48)
+        faults = collapsed_fault_list(circ)
+        tests = PatternSet.random(circ.num_inputs, 48, seed=11)
+        reference = build_pass_fail_dictionary(circ, faults, tests,
+                                               backend="bigint")
+        for name in ("numpy", "auto"):
+            built = build_pass_fail_dictionary(circ, faults, tests,
+                                               backend=name)
+            assert built.fail_masks == reference.fail_masks
+
+    def test_dynamic_order_backend_equivalence(self):
+        from repro.adi import dynamic_order
+
+        circ = generated_circuit(47, num_inputs=8, num_gates=48)
+        faults = collapsed_fault_list(circ)
+        patterns = PatternSet.random(circ.num_inputs, 64, seed=13)
+        for variant in ("dynm", "0dynm"):
+            orders = [
+                dynamic_order(circ, faults, patterns, variant=variant,
+                              backend=name)
+                for name in ALL_BACKENDS
+            ]
+            assert orders[0] == orders[1] == orders[2]
+
+    def test_env_var_switches_default(self, monkeypatch):
+        from repro.adi import compute_adi
+
+        circ = generated_circuit(53, num_inputs=6, num_gates=30)
+        faults = collapsed_fault_list(circ)
+        patterns = PatternSet.random(circ.num_inputs, 32, seed=15)
+        baseline = compute_adi(circ, faults, patterns, backend="bigint")
+        monkeypatch.setenv(backend_mod.BACKEND_ENV_VAR, "numpy")
+        via_env = compute_adi(circ, faults, patterns)
+        assert via_env.detection_masks == baseline.detection_masks

@@ -15,7 +15,7 @@ from repro.fsim import (
 )
 from repro.sim import PatternSet
 
-from conftest import generated_circuit
+from helpers import generated_circuit
 
 
 class TestDeductiveAgainstPpsfp:

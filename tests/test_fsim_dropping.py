@@ -10,7 +10,7 @@ from repro.faults import collapsed_fault_list
 from repro.fsim import coverage_curve, detects_serial, drop_simulate
 from repro.sim import PatternSet
 
-from conftest import generated_circuit
+from helpers import generated_circuit
 
 
 def _naive_drop(circ, faults, patterns, stop_fraction=None):

@@ -18,7 +18,7 @@ from repro.fsim import (
 from repro.fsim.serial import detection_word_serial
 from repro.sim import PatternSet, simulate
 
-from conftest import generated_circuit
+from helpers import generated_circuit
 
 
 class TestSerialOracle:

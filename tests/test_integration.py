@@ -17,7 +17,7 @@ from repro.faults import FaultStatus, collapsed_fault_list
 from repro.fsim import coverage_curve, detects_serial, drop_simulate
 from repro.sim import PatternSet
 
-from conftest import generated_circuit
+from helpers import generated_circuit
 
 
 class TestFullPipelineLion:

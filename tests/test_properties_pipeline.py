@@ -18,7 +18,7 @@ from repro.sim import PatternSet, simulate
 from repro.sim import npsim
 from repro.utils.bitvec import bit_indices
 
-from conftest import generated_circuit
+from helpers import generated_circuit
 
 _slow = settings(max_examples=5, deadline=None,
                  suppress_health_check=[HealthCheck.too_slow])

@@ -19,7 +19,7 @@ from repro.circuit.netlist import Circuit, GateDef
 from repro.circuit.redundancy import simplify_constants
 from repro.sim import PatternSet, simulate_outputs
 
-from conftest import generated_circuit
+from helpers import generated_circuit
 
 _slow = settings(max_examples=8, deadline=None,
                  suppress_health_check=[HealthCheck.too_slow])
