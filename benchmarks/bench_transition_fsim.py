@@ -1,0 +1,167 @@
+"""A/B harness for transition-fault simulation (bigint vs numpy).
+
+The transition analogue of ``bench_fsim_backends.py``: times full
+no-dropping *transition* detection-word sweeps — one fault-free launch
+simulation plus a stuck-at sweep over the capture half — at several
+problem sizes, verifies the engines return bit-identical words, and
+records the speedup table as JSON
+(``results/transition_fsim_speedup.json``).
+
+Standalone (writes the JSON, prints the table, exits non-zero if the
+numpy engine misses its 3x acceptance bar on the large scenario)::
+
+    PYTHONPATH=src python benchmarks/bench_transition_fsim.py
+
+Under pytest-benchmark (statistical timings, no acceptance gate)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_transition_fsim.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+from repro.circuit import GeneratorSpec, generate_circuit
+from repro.faults import transition_fault_list
+from repro.fsim.backend import create_backend
+from repro.sim.patterns import PatternPairSet
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "results" / \
+    "transition_fsim_speedup.json"
+
+#: The large scenario's acceptance bar: numpy >= 3x faster than bigint.
+ACCEPTANCE_SPEEDUP = 3.0
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One (circuit size, fault count, pair-block width) measurement point."""
+
+    name: str
+    num_inputs: int
+    num_gates: int
+    num_outputs: int
+    num_pairs: int
+    gated: bool  # participates in the acceptance check
+
+
+SCENARIOS = (
+    Scenario("small-64g-64pr", 8, 64, 5, 64, gated=False),
+    Scenario("medium-256g-128pr", 16, 256, 8, 128, gated=False),
+    Scenario("large-600g-256pr", 32, 600, 16, 256, gated=True),
+)
+
+
+def build_scenario(scenario: Scenario):
+    circ = generate_circuit(GeneratorSpec(
+        name=f"bench_{scenario.name}",
+        num_inputs=scenario.num_inputs,
+        num_gates=scenario.num_gates,
+        num_outputs=scenario.num_outputs,
+        seed=2005,
+    ))
+    faults = transition_fault_list(circ)
+    pairs = PatternPairSet.random(circ.num_inputs, scenario.num_pairs,
+                                  seed=2005)
+    return circ, faults, pairs
+
+
+def time_backend(name: str, circ, faults, pairs, repeats: int = 3) -> tuple:
+    """(best seconds, transition words) for a full sweep on one backend."""
+    engine = create_backend(circ, name)
+    engine.load_pairs(pairs)
+    best = float("inf")
+    words: List[int] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        words = engine.transition_detection_words(faults)
+        best = min(best, time.perf_counter() - start)
+    return best, words
+
+
+def run_scenario(scenario: Scenario, repeats: int = 3) -> Dict:
+    """Time both engines on one scenario; verify bit-identical words."""
+    circ, faults, pairs = build_scenario(scenario)
+    bigint_s, bigint_words = time_backend(
+        "bigint", circ, faults, pairs, repeats
+    )
+    numpy_s, numpy_words = time_backend(
+        "numpy", circ, faults, pairs, repeats
+    )
+    if bigint_words != numpy_words:
+        raise AssertionError(
+            f"{scenario.name}: backends disagree on transition words"
+        )
+    return {
+        "scenario": scenario.name,
+        "num_gates": circ.num_gates,
+        "num_faults": len(faults),
+        "num_pairs": pairs.num_patterns,
+        "bigint_seconds": bigint_s,
+        "numpy_seconds": numpy_s,
+        "speedup": bigint_s / numpy_s if numpy_s else float("inf"),
+        "gated": scenario.gated,
+    }
+
+
+def main() -> int:
+    rows = [run_scenario(s) for s in SCENARIOS]
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps({
+        "acceptance_speedup": ACCEPTANCE_SPEEDUP,
+        "rows": rows,
+    }, indent=2) + "\n")
+
+    header = (f"{'scenario':20s} {'gates':>6s} {'faults':>7s} {'pairs':>5s} "
+              f"{'bigint':>9s} {'numpy':>9s} {'speedup':>8s}")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['scenario']:20s} {row['num_gates']:6d} "
+              f"{row['num_faults']:7d} {row['num_pairs']:5d} "
+              f"{row['bigint_seconds']:8.3f}s {row['numpy_seconds']:8.3f}s "
+              f"{row['speedup']:7.1f}x")
+    print(f"\nwrote {RESULTS_PATH}")
+
+    failed = [
+        row for row in rows
+        if row["gated"] and row["speedup"] < ACCEPTANCE_SPEEDUP
+    ]
+    if failed:
+        print(f"FAIL: gated scenarios under {ACCEPTANCE_SPEEDUP}x: "
+              f"{[r['scenario'] for r in failed]}")
+        return 1
+    return 0
+
+
+# -- pytest-benchmark integration --------------------------------------------
+
+@pytest.fixture(scope="module", params=SCENARIOS, ids=lambda s: s.name)
+def scenario_data(request):
+    return request.param, build_scenario(request.param)
+
+
+@pytest.mark.parametrize("backend_name", ("bigint", "numpy"))
+def test_bench_transition_sweep(benchmark, scenario_data, backend_name):
+    _, (circ, faults, pairs) = scenario_data
+    engine = create_backend(circ, backend_name)
+    engine.load_pairs(pairs)
+    benchmark(engine.transition_detection_words, faults)
+
+
+def test_transition_backends_bit_identical(scenario_data):
+    scenario, (circ, faults, pairs) = scenario_data
+    _, bigint_words = time_backend("bigint", circ, faults, pairs, 1)
+    _, numpy_words = time_backend("numpy", circ, faults, pairs, 1)
+    assert bigint_words == numpy_words, scenario.name
+
+
+if __name__ == "__main__":
+    sys.exit(main())

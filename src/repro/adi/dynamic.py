@@ -92,6 +92,10 @@ def dynamic_order(circ, faults: Sequence, patterns,
     fault-simulation backend (:mod:`repro.fsim.backend`) and returns the
     dynamic permutation, so callers that only want the order never touch
     :class:`AdiResult`.  ``variant`` is ``"dynm"`` or ``"0dynm"``.
+    Fault-model-polymorphic like :func:`repro.adi.index.compute_adi`:
+    pass stuck-at faults with a :class:`~repro.sim.patterns.PatternSet`,
+    or transition faults with a
+    :class:`~repro.sim.patterns.PatternPairSet`.
     """
     if variant not in ("dynm", "0dynm"):
         raise ValueError(f"variant must be 'dynm' or '0dynm', got {variant!r}")

@@ -13,6 +13,14 @@ Definitions, for a target fault set ``F`` and vector set ``U``:
 average of ``ndet(u)`` over ``D(f)`` instead of the minimum (rounded
 down to keep indices integral).
 
+The computation is **fault-model-polymorphic**: the "vectors" ``u`` may
+be single input vectors detecting stuck-at faults, or two-pattern
+launch/capture pairs detecting transition faults — the accidental
+detection argument is identical, only the detection-word query changes.
+:func:`compute_adi` dispatches on the pattern container
+(:class:`PatternSet` vs :class:`repro.sim.patterns.PatternPairSet`), and
+every order built on :class:`AdiResult` works for both models unchanged.
+
 Implementation notes: detection sets are computed by a fault-simulation
 backend (:mod:`repro.fsim.backend` — ``backend=`` picks the engine, the
 batched numpy engine by default on large problems) as big-int masks, kept
@@ -30,10 +38,10 @@ import numpy as np
 
 from repro.circuit.flatten import CompiledCircuit
 from repro.errors import SimulationError
-from repro.faults.model import Fault
 from repro.fsim.backend import FaultSimBackend, resolve_backend
+from repro.fsim.dropping import PatternBlock, query_detection_words
 from repro.fsim.parallel import detection_word
-from repro.sim.patterns import PatternSet
+from repro.sim.patterns import PatternPairSet, PatternSet
 from repro.utils.bitvec import bit_indices, bits_to_array
 
 
@@ -44,15 +52,22 @@ class AdiMode(Enum):
     AVERAGE = "average"
 
 
+#: A target fault of either model: :class:`repro.faults.model.Fault`
+#: (stuck-at) or :class:`repro.faults.transition.TransitionFault`.
+TargetFault = Union["Fault", "TransitionFault"]
+
+
 @dataclass
 class AdiResult:
     """ADI data for one circuit / fault list / vector set.
 
     All per-fault arrays are indexed by the *position* of the fault in
-    the supplied target list (its original order).
+    the supplied target list (its original order).  ``faults`` holds
+    whichever fault model was supplied (stuck-at or transition); nothing
+    downstream of the detection words depends on the model.
     """
 
-    faults: Tuple[Fault, ...]
+    faults: Tuple[TargetFault, ...]
     num_vectors: int
     detection_masks: Tuple[int, ...]
     det_vectors: Tuple[np.ndarray, ...]
@@ -70,7 +85,7 @@ class AdiResult:
         """Positions of faults with ``ADI = 0`` (not detected by ``U``)."""
         return [i for i, mask in enumerate(self.detection_masks) if not mask]
 
-    def adi_of(self, fault: Fault) -> int:
+    def adi_of(self, fault: TargetFault) -> int:
         """ADI value of a fault (by identity)."""
         return int(self.adi[self.faults.index(fault)])
 
@@ -92,8 +107,8 @@ class AdiResult:
 
 def compute_adi(
     circ: CompiledCircuit,
-    faults: Sequence[Fault],
-    patterns: PatternSet,
+    faults: Sequence[TargetFault],
+    patterns: PatternBlock,
     mode: AdiMode = AdiMode.MINIMUM,
     good_values: Optional[List[int]] = None,
     backend: Union[str, FaultSimBackend, None] = None,
@@ -104,10 +119,14 @@ def compute_adi(
     2 prescribes (faults undetected by ``U`` simply end up with an empty
     detection set and ``ADI = 0``).
 
+    ``patterns`` is either a :class:`PatternSet` of single vectors (then
+    ``faults`` are stuck-at faults) or a :class:`PatternPairSet` of
+    two-pattern transition tests (then ``faults`` are transition faults);
     ``backend`` selects the fault-simulation engine (name, instance, or
     ``None`` for the registry default).  ``good_values`` — precomputed
-    fault-free node words — forces the legacy big-int path that can reuse
-    them; leave it ``None`` to let the backend batch the simulation.
+    fault-free node words — forces the legacy big-int stuck-at path that
+    can reuse them; leave it ``None`` to let the backend batch the
+    simulation.
     """
     if patterns.num_inputs != circ.num_inputs:
         raise SimulationError(
@@ -116,13 +135,17 @@ def compute_adi(
         )
     n = patterns.num_patterns
     if good_values is not None:
+        if isinstance(patterns, PatternPairSet):
+            raise SimulationError(
+                "good_values applies to the single-vector stuck-at path "
+                "only; two-pattern blocks always go through a backend"
+            )
         words = [
             detection_word(circ, good_values, fault, n) for fault in faults
         ]
     else:
         engine = resolve_backend(circ, backend)
-        engine.load(patterns)
-        words = engine.detection_words(faults)
+        words = query_detection_words(engine, patterns, faults)
 
     masks: List[int] = []
     det_vectors: List[np.ndarray] = []

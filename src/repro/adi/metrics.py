@@ -18,9 +18,7 @@ from typing import List, Sequence, Tuple
 
 from repro.circuit.flatten import CompiledCircuit
 from repro.errors import ExperimentError
-from repro.faults.model import Fault
-from repro.fsim.dropping import coverage_curve
-from repro.sim.patterns import PatternSet
+from repro.fsim.dropping import PatternBlock, coverage_curve
 
 
 def ave_from_curve(curve: Sequence[int]) -> float:
@@ -81,12 +79,13 @@ class CurveReport:
         ]
 
 
-def curve_report(circ: CompiledCircuit, faults: Sequence[Fault],
-                 tests: PatternSet, backend=None) -> CurveReport:
+def curve_report(circ: CompiledCircuit, faults: Sequence,
+                 tests: PatternBlock, backend=None) -> CurveReport:
     """Simulate ``tests`` in order and build a :class:`CurveReport`.
 
-    ``backend`` selects the fault-simulation engine (see
-    :mod:`repro.fsim.backend`).
+    ``tests`` may be single vectors (stuck-at ``faults``) or two-pattern
+    pairs (transition ``faults``); ``backend`` selects the
+    fault-simulation engine (see :mod:`repro.fsim.backend`).
     """
     curve = coverage_curve(circ, faults, tests, backend=backend)
     return CurveReport(curve=tuple(curve), total_faults=len(faults))

@@ -17,6 +17,11 @@ Orders:
 Ties are broken by original position, making every order deterministic
 and stable (the paper's strict inequality ``ADI(fi) > ADI(fj)`` cannot
 hold in practice — equal indices are common).
+
+Every order consumes only the per-position arrays of
+:class:`repro.adi.index.AdiResult`, never the faults themselves, so the
+same functions order stuck-at and transition fault lists — the
+experiment harness reuses them verbatim for the two-pattern workload.
 """
 
 from __future__ import annotations

@@ -9,6 +9,12 @@ detection indices are then computed over those ``N`` vectors only.
 The optional ``prune_useless`` flag applies the paper's speed-up note:
 vectors that detect no new fault during the dropping simulation can be
 removed from ``U`` before the (more expensive) no-dropping simulation.
+
+The procedure is fault-model-polymorphic: for transition faults, ``U``
+is a set of two-pattern launch/capture pairs
+(:class:`repro.sim.patterns.PatternPairSet`) selected by exactly the
+same truncated dropping simulation — pass ``pairs=True`` (random pair
+pool) or supply a pair pool via ``patterns=``.
 """
 
 from __future__ import annotations
@@ -18,22 +24,22 @@ from typing import List, Optional, Sequence
 
 from repro.circuit.flatten import CompiledCircuit
 from repro.errors import SimulationError
-from repro.faults.model import Fault
 from repro.fsim.backend import FaultSimBackend
-from repro.fsim.dropping import DropSimResult, drop_simulate
-from repro.sim.patterns import PatternSet
+from repro.fsim.dropping import DropSimResult, PatternBlock, drop_simulate
+from repro.sim.patterns import PatternPairSet, PatternSet
 
 
 @dataclass(frozen=True)
 class USelection:
     """The selected vector set and how it was chosen.
 
-    ``patterns`` holds the first ``N`` vectors; ``detected_by_u`` is
-    ``FU``, the subset of target faults detected by them, in target-list
-    order.
+    ``patterns`` holds the first ``N`` vectors — a :class:`PatternSet`
+    for stuck-at targets, a :class:`PatternPairSet` of two-pattern tests
+    for transition targets; ``detected_by_u`` is ``FU``, the subset of
+    target faults detected by them, in target-list order.
     """
 
-    patterns: PatternSet
+    patterns: PatternBlock
     detected_by_u: tuple
     dropped_sim: DropSimResult
     candidates_drawn: int
@@ -51,25 +57,44 @@ class USelection:
 
 def select_u(
     circ: CompiledCircuit,
-    faults: Sequence[Fault],
+    faults: Sequence,
     seed: int = 0,
     max_vectors: int = 10_000,
     target_coverage: float = 0.90,
     chunk_size: int = 64,
     prune_useless: bool = False,
-    patterns: Optional[PatternSet] = None,
+    patterns: Optional[PatternBlock] = None,
     backend: "str | FaultSimBackend | None" = None,
+    pairs: bool = False,
 ) -> USelection:
     """Choose ``U`` by the paper's truncated random-simulation procedure.
 
     ``patterns`` overrides the random candidate pool (used by the worked
-    example, which supplies the 16 exhaustive vectors of ``lion``);
-    ``backend`` selects the fault-simulation engine for the dropping run.
+    example, which supplies the 16 exhaustive vectors of ``lion``) and
+    may be a :class:`PatternPairSet` when ``faults`` are transition
+    faults; ``pairs=True`` makes the default random pool a pair pool
+    instead of supplying one explicitly.  ``backend`` selects the
+    fault-simulation engine for the dropping run.
     """
     if not 0.0 < target_coverage <= 1.0:
         raise SimulationError("target_coverage must be in (0, 1]")
+    if (patterns is not None and pairs
+            and not isinstance(patterns, PatternPairSet)):
+        # An explicit pool is authoritative; fail here, with the flag,
+        # instead of deep inside the backend.
+        raise SimulationError(
+            f"pairs=True conflicts with a candidate pool of type "
+            f"{type(patterns).__name__}"
+        )
     if patterns is None:
-        patterns = PatternSet.random(circ.num_inputs, max_vectors, seed=seed)
+        if pairs:
+            patterns = PatternPairSet.random(
+                circ.num_inputs, max_vectors, seed=seed
+            )
+        else:
+            patterns = PatternSet.random(
+                circ.num_inputs, max_vectors, seed=seed
+            )
     elif patterns.num_inputs != circ.num_inputs:
         raise SimulationError(
             f"candidate pool has {patterns.num_inputs} inputs, "

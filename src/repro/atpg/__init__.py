@@ -1,4 +1,9 @@
-"""Deterministic test generation: SCOAP, PODEM, SAT-ATPG, compaction."""
+"""Deterministic test generation: SCOAP, PODEM, SAT-ATPG, compaction.
+
+Single-pattern stuck-at tests come from :func:`generate_tests`;
+two-pattern transition tests from :func:`generate_transition_tests`
+(same ordered-targets / fault-dropping loop, pair-shaped tests).
+"""
 
 from repro.atpg.compaction import (
     CompactionResult,
@@ -25,6 +30,10 @@ from repro.atpg.sat import (
 )
 from repro.atpg.satgen import SatAtpg, sat_podem
 from repro.atpg.scoap import Scoap, compute_scoap
+from repro.atpg.transition import (
+    TransitionTestGenResult,
+    generate_transition_tests,
+)
 
 __all__ = [
     "CnfFormula",
@@ -40,6 +49,7 @@ __all__ = [
     "Scoap",
     "TestGenConfig",
     "TestGenResult",
+    "TransitionTestGenResult",
     "compute_cop",
     "compute_scoap",
     "detection_matrix",
@@ -47,6 +57,7 @@ __all__ = [
     "fill_cube",
     "fill_random",
     "generate_tests",
+    "generate_transition_tests",
     "greedy_cover_compaction",
     "podem",
     "random_resistant_faults",

@@ -16,8 +16,10 @@ from repro.experiments.figure1 import Figure1Result, format_figure1, run_figure1
 from repro.experiments.runner import (
     CURVE_ORDERS,
     TABLE5_ORDERS,
+    TRANSITION_ORDERS,
     ExperimentRunner,
     PreparedCircuit,
+    PreparedTransitionCircuit,
 )
 from repro.experiments.suite import (
     ALL_CIRCUITS,
@@ -34,6 +36,13 @@ from repro.experiments.table4 import Table4Row, format_table4, run_table4
 from repro.experiments.table5 import Table5Row, format_table5, run_table5
 from repro.experiments.table6 import Table6Row, format_table6, run_table6
 from repro.experiments.table7 import Table7Row, format_table7, run_table7
+from repro.experiments.transition import (
+    TransitionRow,
+    format_transition,
+    format_transition_figure,
+    run_transition,
+    run_transition_figure,
+)
 
 __all__ = [
     "ALL_CIRCUITS",
@@ -41,15 +50,18 @@ __all__ = [
     "ExperimentRunner",
     "Figure1Result",
     "PreparedCircuit",
+    "PreparedTransitionCircuit",
     "QUICK_CIRCUITS",
     "SUITE",
     "SuiteEntry",
     "TABLE5_ORDERS",
+    "TRANSITION_ORDERS",
     "Table1Result",
     "Table4Row",
     "Table5Row",
     "Table6Row",
     "Table7Row",
+    "TransitionRow",
     "build_circuit",
     "format_figure1",
     "format_table1",
@@ -57,12 +69,16 @@ __all__ = [
     "format_table5",
     "format_table6",
     "format_table7",
+    "format_transition",
+    "format_transition_figure",
     "run_figure1",
     "run_table1",
     "run_table4",
     "run_table5",
     "run_table6",
     "run_table7",
+    "run_transition",
+    "run_transition_figure",
     "selected_circuits",
     "suite_entry",
     "suite_summary",

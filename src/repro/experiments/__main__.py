@@ -4,6 +4,7 @@ Examples::
 
     python -m repro.experiments table1
     python -m repro.experiments table5 --circuits irs208 irs298
+    python -m repro.experiments transition --circuits irs208 irs298
     REPRO_FULL=1 python -m repro.experiments all --seed 2005
 """
 
@@ -21,17 +22,19 @@ from repro.experiments import (
     format_table5,
     format_table6,
     format_table7,
+    format_transition,
     run_figure1,
     run_table1,
     run_table4,
     run_table5,
     run_table6,
     run_table7,
+    run_transition,
     selected_circuits,
 )
 
 _TARGETS = ("table1", "table4", "table5", "table6", "table7", "figure1",
-            "stats", "all")
+            "transition", "stats", "all")
 
 
 def _emit(runner: ExperimentRunner, target: str,
@@ -65,6 +68,8 @@ def _emit(runner: ExperimentRunner, target: str,
         return format_table7(run_table7(runner, circuits))
     if target == "figure1":
         return format_figure1(run_figure1(runner))
+    if target == "transition":
+        return format_transition(run_transition(runner, circuits))
     raise ValueError(f"unknown target {target!r}")
 
 
@@ -91,7 +96,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     runner = ExperimentRunner(seed=args.seed)
     targets = (
-        ["table1", "table4", "table5", "table6", "table7", "figure1"]
+        ["table1", "table4", "table5", "table6", "table7", "figure1",
+         "transition"]
         if args.target == "all" else [args.target]
     )
     for i, target in enumerate(targets):

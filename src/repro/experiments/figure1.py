@@ -30,6 +30,29 @@ class Figure1Result:
     total_faults: int
 
 
+def figure_from_reports(circuit: str, total_faults: int,
+                        reports: Dict[str, object]) -> Figure1Result:
+    """Normalize per-order curve reports the way the paper plots them.
+
+    ``reports`` maps order name to a :class:`repro.adi.metrics.CurveReport`;
+    the x-axis is rescaled against the *largest* test set.  Shared by the
+    stuck-at figure and the transition experiment's curves.
+    """
+    largest = max(r.num_tests for r in reports.values())
+    points: Dict[str, List[Tuple[float, float]]] = {}
+    for order, report in reports.items():
+        points[order] = [
+            ((i + 1) / largest, report.curve[i] / total_faults)
+            for i in range(report.num_tests)
+        ]
+    return Figure1Result(
+        circuit=circuit,
+        points=points,
+        test_counts={o: r.num_tests for o, r in reports.items()},
+        total_faults=total_faults,
+    )
+
+
 def run_figure1(runner: Optional[ExperimentRunner] = None,
                 circuit: str = "irs420",
                 orders: Sequence[str] = CURVE_ORDERS) -> Figure1Result:
@@ -37,20 +60,7 @@ def run_figure1(runner: Optional[ExperimentRunner] = None,
     runner = runner or ExperimentRunner()
     prepared = runner.prepare(circuit)
     reports = {order: runner.curve(circuit, order) for order in orders}
-    largest = max(r.num_tests for r in reports.values())
-    total = len(prepared.faults)
-    points: Dict[str, List[Tuple[float, float]]] = {}
-    for order, report in reports.items():
-        points[order] = [
-            ((i + 1) / largest, report.curve[i] / total)
-            for i in range(report.num_tests)
-        ]
-    return Figure1Result(
-        circuit=circuit,
-        points=points,
-        test_counts={o: r.num_tests for o, r in reports.items()},
-        total_faults=total,
-    )
+    return figure_from_reports(circuit, len(prepared.faults), reports)
 
 
 def format_figure1(result: Figure1Result, width: int = 72,

@@ -6,7 +6,10 @@ memoizes every stage per (circuit, order):
 
     circuit -> faults -> U selection -> ADI -> order -> test generation
 
-Everything is deterministic given the runner's seed.
+The transition-fault experiment runs the same staged flow with the fault
+model swapped (transition faults, two-pattern ``U``, pair test sets) via
+the ``prepare_transition`` / ``transition_testgen`` / ``transition_curve``
+stages.  Everything is deterministic given the runner's seed.
 """
 
 from __future__ import annotations
@@ -16,18 +19,28 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.adi import ORDERS, AdiResult, USelection, compute_adi, select_u
 from repro.adi.metrics import CurveReport, curve_report
-from repro.atpg import TestGenConfig, TestGenResult, generate_tests
+from repro.atpg import (
+    TestGenConfig,
+    TestGenResult,
+    TransitionTestGenResult,
+    generate_transition_tests,
+    generate_tests,
+)
 from repro.circuit.flatten import CompiledCircuit
 from repro.errors import ExperimentError
 from repro.experiments import suite
-from repro.faults import collapse_faults
+from repro.faults import collapse_faults, collapse_transition_faults
 from repro.faults.model import Fault
+from repro.faults.transition import TransitionFault
 
 #: Orders reported by the paper's Table 5, in column order.
 TABLE5_ORDERS: Tuple[str, ...] = ("orig", "dynm", "0dynm", "incr0")
 
 #: Orders plotted in Figure 1 / reported in Tables 6-7.
 CURVE_ORDERS: Tuple[str, ...] = ("orig", "dynm", "0dynm")
+
+#: Orders of the transition-fault experiment (same comparison shape).
+TRANSITION_ORDERS: Tuple[str, ...] = ("orig", "dynm", "0dynm")
 
 
 @dataclass
@@ -42,6 +55,26 @@ class PreparedCircuit:
     @property
     def num_faults(self) -> int:
         """Size of the collapsed target fault list ``F``."""
+        return len(self.faults)
+
+
+@dataclass
+class PreparedTransitionCircuit:
+    """The transition-fault analogue of :class:`PreparedCircuit`.
+
+    ``faults`` is the collapsed transition target list; ``selection``
+    holds the two-pattern vector set ``U`` (a ``PatternPairSet``), and
+    ``adi`` the indices computed over those pairs.
+    """
+
+    circuit: CompiledCircuit
+    faults: List[TransitionFault]
+    selection: USelection
+    adi: AdiResult
+
+    @property
+    def num_faults(self) -> int:
+        """Size of the collapsed transition target list."""
         return len(self.faults)
 
 
@@ -66,6 +99,10 @@ class ExperimentRunner:
         self._prepared: Dict[str, PreparedCircuit] = {}
         self._testgen: Dict[Tuple[str, str], TestGenResult] = {}
         self._curves: Dict[Tuple[str, str], CurveReport] = {}
+        self._prepared_transition: Dict[str, PreparedTransitionCircuit] = {}
+        self._transition_testgen: Dict[Tuple[str, str],
+                                       TransitionTestGenResult] = {}
+        self._transition_curves: Dict[Tuple[str, str], CurveReport] = {}
 
     # -- pipeline stages ------------------------------------------------------
 
@@ -126,6 +163,73 @@ class ExperimentRunner:
                 backend=self.fsim_backend,
             )
         return self._curves[key]
+
+    # -- transition-fault pipeline --------------------------------------------
+
+    def prepare_transition(self, name: str) -> PreparedTransitionCircuit:
+        """Circuit + transition faults + pair ``U`` + ADI (cached).
+
+        The same flow as :meth:`prepare` with the fault model swapped:
+        collapsed transition faults, a random two-pattern pool truncated
+        at the target coverage, ADI over the selected pairs.
+        """
+        if name not in self._prepared_transition:
+            circ = suite.build_circuit(name)
+            faults = list(collapse_transition_faults(circ).representatives)
+            selection = select_u(
+                circ, faults,
+                seed=self.seed,
+                max_vectors=self.max_vectors,
+                target_coverage=self.target_coverage,
+                backend=self.fsim_backend,
+                pairs=True,
+            )
+            adi = compute_adi(circ, faults, selection.patterns,
+                              backend=self.fsim_backend)
+            self._prepared_transition[name] = PreparedTransitionCircuit(
+                circuit=circ, faults=faults, selection=selection, adi=adi
+            )
+        return self._prepared_transition[name]
+
+    def transition_order_permutation(self, name: str, order: str) -> List[int]:
+        """The permutation a named order induces on the transition list."""
+        if order not in ORDERS:
+            raise ExperimentError(
+                f"unknown order {order!r}; available: {sorted(ORDERS)}"
+            )
+        prepared = self.prepare_transition(name)
+        return ORDERS[order](prepared.adi)
+
+    def transition_testgen(self, name: str,
+                           order: str) -> TransitionTestGenResult:
+        """Ordered two-pattern test generation for (circuit, order), cached."""
+        key = (name, order)
+        if key not in self._transition_testgen:
+            prepared = self.prepare_transition(name)
+            permutation = self.transition_order_permutation(name, order)
+            ordered = [prepared.faults[i] for i in permutation]
+            config = TestGenConfig(
+                backtrack_limit=self.backtrack_limit,
+                fill="random",
+                seed=self.seed,
+                backend=self.fsim_backend,
+            )
+            self._transition_testgen[key] = generate_transition_tests(
+                prepared.circuit, ordered, config
+            )
+        return self._transition_testgen[key]
+
+    def transition_curve(self, name: str, order: str) -> CurveReport:
+        """Coverage curve of the generated two-pattern test set, cached."""
+        key = (name, order)
+        if key not in self._transition_curves:
+            prepared = self.prepare_transition(name)
+            result = self.transition_testgen(name, order)
+            self._transition_curves[key] = curve_report(
+                prepared.circuit, prepared.faults, result.tests,
+                backend=self.fsim_backend,
+            )
+        return self._transition_curves[key]
 
     # -- convenience -----------------------------------------------------------
 

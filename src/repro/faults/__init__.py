@@ -1,9 +1,18 @@
-"""Stuck-at fault model, universe enumeration, collapsing, bookkeeping."""
+"""Fault models (stuck-at and transition), universes, collapsing, bookkeeping."""
 
 from repro.faults.collapse import CollapsedFaults, collapse_faults, collapsed_fault_list
 from repro.faults.dominance import dominance_collapse, dominance_reduction
 from repro.faults.model import STEM, Fault, check_fault
 from repro.faults.sets import FaultSet, FaultStatus
+from repro.faults.transition import (
+    SLOW_TO_FALL,
+    SLOW_TO_RISE,
+    TransitionFault,
+    check_transition_fault,
+    collapse_transition_faults,
+    transition_fault_list,
+    transition_universe,
+)
 from repro.faults.universe import count_lines, full_universe, line_branches
 
 __all__ = [
@@ -11,13 +20,20 @@ __all__ = [
     "Fault",
     "FaultSet",
     "FaultStatus",
+    "SLOW_TO_FALL",
+    "SLOW_TO_RISE",
     "STEM",
+    "TransitionFault",
     "check_fault",
+    "check_transition_fault",
     "collapse_faults",
+    "collapse_transition_faults",
     "collapsed_fault_list",
     "count_lines",
     "dominance_collapse",
     "dominance_reduction",
     "full_universe",
     "line_branches",
+    "transition_fault_list",
+    "transition_universe",
 ]

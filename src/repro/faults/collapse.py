@@ -60,6 +60,11 @@ class CollapsedFaults:
 
     ``representatives`` is ordered by fault order (topological), which the
     experiments treat as the paper's original fault order ``Forig``.
+
+    The container is fault-model-agnostic: stuck-at collapsing
+    (:func:`collapse_faults`) and transition-fault collapsing
+    (:func:`repro.faults.transition.collapse_transition_faults`) both
+    return it, with members of the respective fault type.
     """
 
     universe: tuple
@@ -128,10 +133,17 @@ def collapse_faults(circ: CompiledCircuit,
             merge(_input_line_fault(circ, gate, 0, 1), out1)
         # XOR / XNOR / CONST: no structural equivalences.
 
-    # Gather classes; the representative is the member whose (node, pin,
-    # value) sorts lowest, i.e. the fault closest to the inputs.  Any
-    # deterministic pick works; this one keeps Forig stable under
-    # re-collapsing.
+    return gather_classes(universe, uf)
+
+
+def gather_classes(universe: Sequence, uf: _UnionFind) -> CollapsedFaults:
+    """Build a :class:`CollapsedFaults` from a union-find over ``universe``.
+
+    The representative is the member whose ``(node, pin, ...)`` tuple sorts
+    lowest, i.e. the fault closest to the inputs.  Any deterministic pick
+    works; this one keeps the original order stable under re-collapsing.
+    Shared by the stuck-at and transition-fault collapsers.
+    """
     roots: Dict[int, List[int]] = {}
     for i in range(len(universe)):
         roots.setdefault(uf.find(i), []).append(i)

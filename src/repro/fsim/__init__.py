@@ -6,6 +6,11 @@ through :mod:`repro.fsim.backend`: ``bigint`` (event-driven big-int
 PPSFP), ``numpy`` (batched word-parallel, :mod:`repro.fsim.npfsim`) or
 ``auto`` (threshold dispatch, the default).  Set ``REPRO_FSIM_BACKEND``
 or pass ``backend=`` to switch the whole pipeline.
+
+Every registered backend speaks both fault models: single-vector blocks
+detect stuck-at faults (``load`` / ``detection_words``), two-pattern
+launch/capture blocks detect transition faults (``load_pairs`` /
+``transition_detection_words``, :mod:`repro.fsim.transition`).
 """
 
 from repro.fsim.backend import (
@@ -24,7 +29,13 @@ from repro.fsim.deductive import (
     deductive_drop_simulate,
     deductive_fault_lists,
 )
-from repro.fsim.dropping import DropSimResult, coverage_curve, drop_simulate
+from repro.fsim.backend import transition_detection_words
+from repro.fsim.dropping import (
+    DropSimResult,
+    coverage_curve,
+    drop_simulate,
+    query_detection_words,
+)
 from repro.fsim.ndetect import detection_counts, ndet_per_vector, redundancy_candidates
 from repro.fsim.npfsim import NumpyFaultSim
 from repro.fsim.parallel import (
@@ -32,6 +43,11 @@ from repro.fsim.parallel import (
     detection_word,
     detection_words,
     detects,
+)
+from repro.fsim.transition import (
+    TwoPatternSupport,
+    initialization_word,
+    launch_line_word,
 )
 from repro.fsim.serial import (
     detected_set_serial,
@@ -49,6 +65,7 @@ __all__ = [
     "FaultSimBackend",
     "NumpyFaultSim",
     "ParallelFaultSimulator",
+    "TwoPatternSupport",
     "available_backends",
     "coverage_curve",
     "create_backend",
@@ -64,10 +81,14 @@ __all__ = [
     "detects",
     "detects_serial",
     "drop_simulate",
+    "initialization_word",
+    "launch_line_word",
     "ndet_per_vector",
     "output_response",
+    "query_detection_words",
     "redundancy_candidates",
     "register_backend",
     "resolve_backend",
     "simulate_with_fault",
+    "transition_detection_words",
 ]

@@ -8,7 +8,10 @@ specific simulator:
 * :class:`FaultSimBackend` — the protocol: bind a circuit, ``load`` a
   pattern block, answer ``detection_word`` / ``detection_words`` queries
   (bit ``p`` set iff pattern ``p`` detects the fault, identical across
-  backends, property-tested).
+  backends, property-tested).  The two-pattern extension — ``load_pairs``
+  a :class:`repro.sim.patterns.PatternPairSet`, answer
+  ``transition_detection_words`` for transition faults — follows the same
+  bit-identical contract (see :mod:`repro.fsim.transition`).
 * a **registry** — backends register under a short name; consumers take a
   ``backend=`` argument (name or instance) and resolve it here, so one
   argument — or the ``REPRO_FSIM_BACKEND`` environment variable — switches
@@ -35,12 +38,25 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Protocol, Sequence, Union, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Union,
+    runtime_checkable,
+)
 
 from repro.circuit.flatten import CompiledCircuit
 from repro.errors import SimulationError
 from repro.faults.model import Fault
-from repro.sim.patterns import PatternSet
+from repro.sim.patterns import PatternPairSet, PatternSet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.faults.transition import TransitionFault
 
 #: Environment variable naming the default backend for the whole process.
 BACKEND_ENV_VAR = "REPRO_FSIM_BACKEND"
@@ -91,6 +107,16 @@ class FaultSimBackend(Protocol):
     def detection_words(self, faults: Sequence[Fault]) -> List[int]:
         """Detection word per fault, in input order."""
 
+    def load_pairs(self, pairs: PatternPairSet) -> None:
+        """Stage a two-pattern block for transition-fault queries."""
+
+    def transition_detection_word(self, fault: "TransitionFault") -> int:
+        """Bit ``p`` set iff loaded pair ``p`` detects ``fault``."""
+
+    def transition_detection_words(self, faults: Sequence["TransitionFault"]
+                                   ) -> List[int]:
+        """Transition detection word per fault, in input order."""
+
 
 BackendFactory = Callable[[CompiledCircuit], FaultSimBackend]
 
@@ -121,15 +147,27 @@ def default_backend_name() -> str:
 
 def create_backend(circ: CompiledCircuit,
                    backend: Optional[str] = None) -> FaultSimBackend:
-    """Instantiate a backend by name (default: :func:`default_backend_name`)."""
-    name = backend or default_backend_name()
-    try:
-        factory = _REGISTRY[name]
-    except KeyError:
+    """Instantiate a backend by name (default: :func:`default_backend_name`).
+
+    Unknown names raise :class:`SimulationError` listing the registered
+    backends; when the bad name came from ``$REPRO_FSIM_BACKEND`` rather
+    than a ``backend=`` argument, the message says so — a misspelled
+    environment variable should fail loudly at resolution time, not as a
+    bare ``KeyError`` deep in a pipeline.
+    """
+    from_env = False
+    name = backend
+    if name is None:
+        env = os.environ.get(BACKEND_ENV_VAR, "").strip()
+        from_env = bool(env)
+        name = env or DEFAULT_BACKEND
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        source = f" (from ${BACKEND_ENV_VAR})" if from_env else ""
         raise SimulationError(
-            f"unknown fault-sim backend {name!r}; "
+            f"unknown fault-sim backend {name!r}{source}; "
             f"available: {available_backends()}"
-        ) from None
+        )
     return factory(circ)
 
 
@@ -161,6 +199,17 @@ def detection_words(circ: CompiledCircuit, faults: Sequence[Fault],
     return engine.detection_words(faults)
 
 
+def transition_detection_words(circ: CompiledCircuit,
+                               faults: Sequence["TransitionFault"],
+                               pairs: PatternPairSet,
+                               backend: Union[str, FaultSimBackend, None] = None
+                               ) -> List[int]:
+    """One-shot convenience: load ``pairs``, query all transition ``faults``."""
+    engine = resolve_backend(circ, backend)
+    engine.load_pairs(pairs)
+    return engine.transition_detection_words(faults)
+
+
 class AutoFaultSim:
     """Threshold-based dispatcher over the bigint and numpy engines.
 
@@ -185,28 +234,41 @@ class AutoFaultSim:
     def __init__(self, circ: CompiledCircuit):
         self.circ = circ
         self._patterns: Optional[PatternSet] = None
+        self._pairs: Optional[PatternPairSet] = None
         self._engines: Dict[str, FaultSimBackend] = {}
         self._loaded: Dict[str, bool] = {}
 
     def load(self, patterns: PatternSet) -> None:
         """Stage a pattern block; sub-engines simulate it on first use."""
         self._patterns = patterns
+        self._pairs = None
+        self._loaded = {}
+
+    def load_pairs(self, pairs: PatternPairSet) -> None:
+        """Stage a two-pattern block; sub-engines simulate it on first use."""
+        self._pairs = pairs
+        self._patterns = None
         self._loaded = {}
 
     @property
     def num_patterns(self) -> int:
-        """Width of the staged block."""
+        """Width of the staged block (single vectors or pairs)."""
+        if self._pairs is not None:
+            return self._pairs.num_patterns
         return self._patterns.num_patterns if self._patterns else 0
 
     def _engine(self, name: str) -> FaultSimBackend:
-        if self._patterns is None:
+        if self._patterns is None and self._pairs is None:
             raise SimulationError("no pattern block loaded; call load() first")
         engine = self._engines.get(name)
         if engine is None:
             engine = create_backend(self.circ, name)
             self._engines[name] = engine
         if not self._loaded.get(name):
-            engine.load(self._patterns)
+            if self._pairs is not None:
+                engine.load_pairs(self._pairs)
+            else:
+                engine.load(self._patterns)
             self._loaded[name] = True
         return engine
 
@@ -224,6 +286,16 @@ class AutoFaultSim:
     def detection_words(self, faults: Sequence[Fault]) -> List[int]:
         """Batch query, dispatched by :meth:`_pick`."""
         return self._engine(self._pick(len(faults))).detection_words(faults)
+
+    def transition_detection_word(self, fault: "TransitionFault") -> int:
+        """Single transition-fault query — the event-driven bigint engine."""
+        return self._engine("bigint").transition_detection_word(fault)
+
+    def transition_detection_words(self, faults: Sequence["TransitionFault"]
+                                   ) -> List[int]:
+        """Batch transition query, dispatched by :meth:`_pick`."""
+        engine = self._engine(self._pick(len(faults)))
+        return engine.transition_detection_words(faults)
 
     @property
     def good_values(self) -> List[int]:

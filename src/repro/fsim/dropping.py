@@ -23,7 +23,28 @@ from repro.circuit.flatten import CompiledCircuit
 from repro.errors import SimulationError
 from repro.faults.model import Fault
 from repro.fsim.backend import FaultSimBackend, resolve_backend
-from repro.sim.patterns import PatternSet
+from repro.sim.patterns import PatternPairSet, PatternSet
+
+#: A simulatable block: single vectors, or two-pattern (launch, capture)
+#: pairs — the dropping loop is fault-model-polymorphic over both.
+PatternBlock = Union[PatternSet, PatternPairSet]
+
+
+def query_detection_words(engine: FaultSimBackend, block: PatternBlock,
+                          faults: Sequence) -> List[int]:
+    """Load ``block`` into ``engine`` and query every fault's word.
+
+    Dispatches on the block type: a :class:`PatternPairSet` routes to the
+    engine's two-pattern transition contract, anything else to the plain
+    stuck-at contract.  This one switch makes every consumer built on
+    blocks of patterns (dropping, ``U`` selection, coverage curves, ADI)
+    work for both fault models.
+    """
+    if isinstance(block, PatternPairSet):
+        engine.load_pairs(block)
+        return engine.transition_detection_words(faults)
+    engine.load(block)
+    return engine.detection_words(faults)
 
 
 @dataclass
@@ -77,7 +98,7 @@ class DropSimResult:
 def drop_simulate(
     circ: CompiledCircuit,
     faults: Sequence[Fault],
-    patterns: PatternSet,
+    patterns: PatternBlock,
     chunk_size: int = 64,
     stop_fraction: Optional[float] = None,
     backend: Union[str, FaultSimBackend, None] = None,
@@ -89,8 +110,10 @@ def drop_simulate(
     ``len(faults)``; faults first detected by later vectors stay
     undetected, matching the paper's truncation of ``U``.
 
-    ``backend`` selects the fault-simulation engine used per chunk (see
-    :mod:`repro.fsim.backend`).
+    ``patterns`` may be a :class:`PatternSet` of stuck-at vectors or a
+    :class:`PatternPairSet` of two-pattern transition tests (then
+    ``faults`` must be transition faults); ``backend`` selects the
+    fault-simulation engine used per chunk (see :mod:`repro.fsim.backend`).
     """
     if stop_fraction is not None and not 0.0 < stop_fraction <= 1.0:
         raise SimulationError("stop_fraction must be in (0, 1]")
@@ -110,11 +133,10 @@ def drop_simulate(
     detected_count = 0
     base = 0
     for chunk in patterns.chunks(chunk_size):
-        engine.load(chunk)
         width = chunk.num_patterns
         survivors: List[Fault] = []
         chunk_hits: List[Tuple[int, Fault]] = []
-        words = engine.detection_words(remaining)
+        words = query_detection_words(engine, chunk, remaining)
         for fault, word in zip(remaining, words):
             if word:
                 first = (word & -word).bit_length() - 1
@@ -163,10 +185,14 @@ def drop_simulate(
 
 
 def coverage_curve(circ: CompiledCircuit, faults: Sequence[Fault],
-                   tests: PatternSet, chunk_size: int = 64,
+                   tests: PatternBlock, chunk_size: int = 64,
                    backend: Union[str, FaultSimBackend, None] = None
                    ) -> List[int]:
-    """The paper's ``nord(i)`` sequence for a test set, full length."""
+    """The paper's ``nord(i)`` sequence for a test set, full length.
+
+    ``tests`` may be single vectors or two-pattern pairs (with a matching
+    fault model in ``faults``), like :func:`drop_simulate`.
+    """
     result = drop_simulate(circ, faults, tests, chunk_size=chunk_size,
                            backend=backend)
     curve = result.coverage_curve()

@@ -35,6 +35,7 @@ from repro.circuit.flatten import CompiledCircuit
 from repro.errors import SimulationError
 from repro.faults.model import Fault, check_fault
 from repro.fsim.backend import BackendCapabilities
+from repro.fsim.transition import TwoPatternSupport
 from repro.sim.npsim import (
     ONES64,
     LevelSchedule,
@@ -52,13 +53,17 @@ DEFAULT_BATCH_BYTES = 128 << 20
 MAX_BATCH_FAULTS = 1024
 
 
-class NumpyFaultSim:
+class NumpyFaultSim(TwoPatternSupport):
     """Batched fault-simulation backend over ``uint64`` pattern words.
 
     Conforms to :class:`repro.fsim.backend.FaultSimBackend`.  Construction
     levelizes the circuit; :meth:`load` packs and simulates the fault-free
     block; :meth:`detection_words` runs batches of full faulty-machine
-    simulations.
+    simulations.  Transition queries (``load_pairs`` /
+    ``transition_detection_words``, from
+    :class:`repro.fsim.transition.TwoPatternSupport`) simulate the launch
+    half through the same :class:`LevelSchedule` and feed the capture half
+    to the batched stuck-at path, so the expensive part stays vectorized.
     """
 
     name = "numpy"
@@ -99,6 +104,18 @@ class NumpyFaultSim:
             ONES64 if tail_bits >= 64
             else np.uint64((1 << max(tail_bits, 0)) - 1)
         )
+        self._launch_good = None
+
+    def _launch_values(self, patterns: PatternSet) -> List[int]:
+        """Launch-half fault-free words via the levelized matrix simulator."""
+        matrix = words_to_matrix(patterns.words, patterns.num_patterns)
+        values = simulate_matrix_levelized(
+            self.circ, matrix, schedule=self.schedule
+        )
+        return [
+            matrix_row_to_int(values[node], patterns.num_patterns)
+            for node in range(self.circ.num_nodes)
+        ]
 
     @property
     def num_patterns(self) -> int:

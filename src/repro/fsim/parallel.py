@@ -24,6 +24,7 @@ from repro.circuit.flatten import CompiledCircuit
 from repro.errors import SimulationError
 from repro.faults.model import Fault, check_fault
 from repro.fsim.backend import BackendCapabilities
+from repro.fsim.transition import TwoPatternSupport
 from repro.sim.bitsim import eval_gate_words, simulate
 from repro.sim.patterns import PatternSet
 from repro.utils.bitvec import full_mask
@@ -107,14 +108,17 @@ def detects(circ: CompiledCircuit, vector: Sequence[int], fault: Fault) -> bool:
     return bool(detection_word(circ, good, fault, 1))
 
 
-class ParallelFaultSimulator:
+class ParallelFaultSimulator(TwoPatternSupport):
     """Binds a circuit and reuses fault-free values across fault queries.
 
     Typical use: simulate a pattern block once with :meth:`load`, then ask
     for many faults' detection words.  This is the ``bigint`` entry of the
     backend registry (:mod:`repro.fsim.backend`): event-driven per-fault
     propagation with early exit, cheapest for single-fault queries and
-    small problems.
+    small problems.  Two-pattern transition queries (``load_pairs`` /
+    ``transition_detection_words``) come from
+    :class:`repro.fsim.transition.TwoPatternSupport` and reuse the same
+    per-fault propagation on the capture half.
     """
 
     name = "bigint"
@@ -132,6 +136,7 @@ class ParallelFaultSimulator:
         """Simulate the fault-free circuit for a pattern block."""
         self._good = simulate(self.circ, patterns)
         self._num_patterns = patterns.num_patterns
+        self._launch_good = None
 
     @property
     def num_patterns(self) -> int:

@@ -1,4 +1,8 @@
-"""Logic simulation: bit-parallel (big-int and numpy) and 3-valued."""
+"""Logic simulation: bit-parallel (big-int and numpy), 3-valued, patterns.
+
+Single vectors live in :class:`PatternSet`; two-pattern transition tests
+(launch/capture pairs) in :class:`PatternPairSet`.
+"""
 
 from repro.sim.bitsim import (
     BitSimulator,
@@ -9,22 +13,26 @@ from repro.sim.bitsim import (
     simulate_words,
 )
 from repro.sim.pattern_io import (
+    read_pattern_pairs,
     read_pattern_table,
     read_patterns,
+    write_pattern_pairs,
     write_pattern_table,
     write_patterns,
 )
-from repro.sim.patterns import PatternSet
+from repro.sim.patterns import PatternPairSet, PatternSet
 from repro.sim.threeval import ONE, X, ZERO, eval_gate3, simulate3
 
 __all__ = [
     "BitSimulator",
     "ONE",
+    "PatternPairSet",
     "PatternSet",
     "X",
     "ZERO",
     "eval_gate3",
     "eval_gate_words",
+    "read_pattern_pairs",
     "read_pattern_table",
     "read_patterns",
     "simulate",
@@ -32,6 +40,7 @@ __all__ = [
     "simulate_outputs",
     "simulate_vector",
     "simulate_words",
+    "write_pattern_pairs",
     "write_pattern_table",
     "write_patterns",
 ]

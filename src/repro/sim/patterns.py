@@ -4,6 +4,13 @@ A :class:`PatternSet` stores N input vectors *column-wise*: one big-int
 word per primary input, bit ``p`` of word ``i`` being input ``i``'s value
 under pattern ``p``.  That is exactly the layout the bit-parallel
 simulator consumes, so simulation needs no transposition.
+
+A :class:`PatternPairSet` stores N two-pattern tests as two aligned
+:class:`PatternSet` halves — the *launch* vectors ``v1`` and the
+*capture* vectors ``v2`` of transition-fault testing.  Pair ``p`` is
+``(launch.vector(p), capture.vector(p))``; all slicing/chunking
+operations act on whole pairs, so the fault-dropping simulator and the
+ADI computation consume pair blocks exactly like single-vector blocks.
 """
 
 from __future__ import annotations
@@ -165,6 +172,179 @@ class PatternSet:
 
     def chunks(self, size: int) -> Iterator["PatternSet"]:
         """Yield consecutive slices of at most ``size`` patterns."""
+        if size < 1:
+            raise SimulationError("chunk size must be positive")
+        for start in range(0, self.num_patterns, size):
+            yield self.slice(start, min(start + size, self.num_patterns))
+
+    def __len__(self) -> int:
+        return self.num_patterns
+
+
+@dataclass(frozen=True)
+class PatternPairSet:
+    """An immutable set of two-pattern (launch, capture) tests.
+
+    ``launch`` holds the initialization vectors ``v1``, ``capture`` the
+    observation vectors ``v2``; both halves have the same input count and
+    the same number of patterns, and pair ``p`` is row ``p`` of each.
+    """
+
+    launch: PatternSet
+    capture: PatternSet
+
+    def __post_init__(self):
+        if self.launch.num_inputs != self.capture.num_inputs:
+            raise SimulationError(
+                f"launch half has {self.launch.num_inputs} inputs, "
+                f"capture half has {self.capture.num_inputs}"
+            )
+        if self.launch.num_patterns != self.capture.num_patterns:
+            raise SimulationError(
+                f"launch half has {self.launch.num_patterns} patterns, "
+                f"capture half has {self.capture.num_patterns}"
+            )
+
+    @property
+    def num_inputs(self) -> int:
+        """Input count shared by both halves."""
+        return self.launch.num_inputs
+
+    @property
+    def num_patterns(self) -> int:
+        """Number of pairs (the block width for detection words)."""
+        return self.launch.num_patterns
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def from_vector_pairs(pairs: Sequence[Tuple[Sequence[int], Sequence[int]]],
+                          num_inputs: int | None = None) -> "PatternPairSet":
+        """Build from ``(v1, v2)`` row pairs of 0/1 vectors."""
+        launches = [list(v1) for v1, _ in pairs]
+        captures = [list(v2) for _, v2 in pairs]
+        return PatternPairSet(
+            PatternSet.from_vectors(launches, num_inputs),
+            PatternSet.from_vectors(captures, num_inputs),
+        )
+
+    @staticmethod
+    def random(num_inputs: int, num_pairs: int, seed: int = 0,
+               rng: random.Random | None = None) -> "PatternPairSet":
+        """Independent uniformly random halves (enhanced-scan style pairs).
+
+        With an enhanced scan cell both vectors of a pair are arbitrary,
+        so the launch and capture halves are drawn independently from one
+        RNG stream (deterministic given ``seed``).
+        """
+        if rng is None:
+            rng = make_rng(seed, "pattern-pairs")
+        launch = PatternSet.random(num_inputs, num_pairs, rng=rng)
+        capture = PatternSet.random(num_inputs, num_pairs, rng=rng)
+        return PatternPairSet(launch, capture)
+
+    @staticmethod
+    def launch_on_shift(launch: PatternSet, scan_in: int = 0) -> "PatternPairSet":
+        """Pairs where ``v2`` is ``v1`` shifted one scan position.
+
+        Launch-on-shift (skewed-load) testing derives the capture vector
+        from the last shift of the scan chain: input 0 takes the fresh
+        ``scan_in`` bit and input ``i`` takes ``v1``'s input ``i - 1``,
+        modelling a single scan chain in primary-input order.
+        """
+        if scan_in not in (0, 1):
+            raise SimulationError(f"scan_in must be 0 or 1, got {scan_in!r}")
+        width = launch.num_patterns
+        fill = full_mask(width) if scan_in else 0
+        words = (fill,) + launch.words[:-1] if launch.num_inputs else ()
+        return PatternPairSet(
+            launch,
+            PatternSet(launch.num_inputs, width, tuple(words)),
+        )
+
+    @staticmethod
+    def launch_on_capture(circ, launch: PatternSet,
+                          mapping: Sequence[int] | None = None
+                          ) -> "PatternPairSet":
+        """Pairs where ``v2`` is the circuit's captured response to ``v1``.
+
+        Launch-on-capture (broadside) testing applies the functional
+        next state as the second vector: in the full-scan model the
+        flip-flop portion of ``v2`` is the combinational response to
+        ``v1`` captured back into the scan cells.  ``mapping[i]`` names
+        the primary-output index whose response feeds input ``i``
+        (default: output ``i % num_outputs`` — the stand-in wiring used
+        for the purely combinational suite circuits, where the real
+        PPI/PPO correspondence of a netlist is not available).
+        """
+        from repro.sim.bitsim import simulate  # local: bitsim imports patterns
+
+        if launch.num_inputs != circ.num_inputs:
+            raise SimulationError(
+                f"launch set has {launch.num_inputs} inputs, "
+                f"circuit has {circ.num_inputs}"
+            )
+        if not circ.num_outputs:
+            raise SimulationError("launch-on-capture needs primary outputs")
+        if mapping is None:
+            mapping = [i % circ.num_outputs for i in range(circ.num_inputs)]
+        elif len(mapping) != circ.num_inputs:
+            raise SimulationError(
+                f"mapping has {len(mapping)} entries, "
+                f"expected {circ.num_inputs}"
+            )
+        good = simulate(circ, launch)
+        words = []
+        for out_index in mapping:
+            if not 0 <= out_index < circ.num_outputs:
+                raise SimulationError(
+                    f"mapping names output {out_index}, "
+                    f"circuit has {circ.num_outputs}"
+                )
+            words.append(good[circ.outputs[out_index]])
+        return PatternPairSet(
+            launch,
+            PatternSet(launch.num_inputs, launch.num_patterns, tuple(words)),
+        )
+
+    # -- access --------------------------------------------------------------
+
+    def pair(self, p: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Pair ``p`` as ``(v1, v2)`` 0/1 tuples."""
+        return (self.launch.vector(p), self.capture.vector(p))
+
+    def iter_pairs(self) -> Iterator[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+        """Iterate ``(v1, v2)`` pairs in order."""
+        for p in range(self.num_patterns):
+            yield self.pair(p)
+
+    # -- slicing / combination ------------------------------------------------
+
+    def take(self, count: int) -> "PatternPairSet":
+        """First ``count`` pairs."""
+        return PatternPairSet(self.launch.take(count), self.capture.take(count))
+
+    def slice(self, start: int, stop: int) -> "PatternPairSet":
+        """Pairs ``start..stop-1`` as a new set."""
+        return PatternPairSet(
+            self.launch.slice(start, stop), self.capture.slice(start, stop)
+        )
+
+    def select(self, indices: Sequence[int]) -> "PatternPairSet":
+        """Re-index pairs: new pair k = old pair ``indices[k]``."""
+        return PatternPairSet(
+            self.launch.select(indices), self.capture.select(indices)
+        )
+
+    def concat(self, other: "PatternPairSet") -> "PatternPairSet":
+        """This set followed by ``other``."""
+        return PatternPairSet(
+            self.launch.concat(other.launch),
+            self.capture.concat(other.capture),
+        )
+
+    def chunks(self, size: int) -> Iterator["PatternPairSet"]:
+        """Yield consecutive slices of at most ``size`` pairs."""
         if size < 1:
             raise SimulationError("chunk size must be positive")
         for start in range(0, self.num_patterns, size):

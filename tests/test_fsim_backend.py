@@ -55,6 +55,32 @@ class TestRegistry:
         monkeypatch.delenv(backend_mod.BACKEND_ENV_VAR)
         assert default_backend_name() == "auto"
 
+    def test_bad_env_var_raises_with_source(self, c17_circuit, monkeypatch):
+        monkeypatch.setenv(backend_mod.BACKEND_ENV_VAR, "no-such-engine")
+        with pytest.raises(SimulationError) as err:
+            create_backend(c17_circuit)
+        message = str(err.value)
+        assert "no-such-engine" in message
+        assert backend_mod.BACKEND_ENV_VAR in message
+        for name in ALL_BACKENDS:
+            assert name in message
+
+    def test_bad_env_var_raises_at_resolution(self, c17_circuit, monkeypatch):
+        monkeypatch.setenv(backend_mod.BACKEND_ENV_VAR, "typo")
+        with pytest.raises(SimulationError, match="unknown fault-sim"):
+            resolve_backend(c17_circuit, None)
+
+    def test_bad_argument_does_not_blame_env(self, c17_circuit, monkeypatch):
+        monkeypatch.delenv(backend_mod.BACKEND_ENV_VAR, raising=False)
+        with pytest.raises(SimulationError) as err:
+            create_backend(c17_circuit, "nope")
+        assert backend_mod.BACKEND_ENV_VAR not in str(err.value)
+
+    def test_whitespace_env_var_falls_back_to_default(self, c17_circuit,
+                                                      monkeypatch):
+        monkeypatch.setenv(backend_mod.BACKEND_ENV_VAR, "   ")
+        assert isinstance(create_backend(c17_circuit), AutoFaultSim)
+
     def test_resolve_passes_instances_through(self, c17_circuit):
         engine = create_backend(c17_circuit, "bigint")
         assert resolve_backend(c17_circuit, engine) is engine
