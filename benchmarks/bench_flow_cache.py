@@ -1,0 +1,118 @@
+"""Cold vs warm flow runs: the artifact cache's acceptance benchmark.
+
+Runs one full ADI flow (circuit → faults → U → ADI → order → testgen →
+curve) twice against a fresh cache directory: the cold run computes and
+persists every stage, the warm run must load every cacheable stage from
+disk.  Records both wall-clocks and the speedup to
+``results/flow_cache_speedup.json`` and exits non-zero if the warm run is
+less than 5x faster or recomputed any stage.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_flow_cache.py
+
+Under pytest-benchmark (statistical timings, no acceptance gate)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_flow_cache.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.flow import CircuitSpec, Flow, FlowConfig, USpec
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "results" / \
+    "flow_cache_speedup.json"
+
+#: Acceptance bar: a warm re-run must be at least this much faster.
+ACCEPTANCE_SPEEDUP = 5.0
+
+#: A self-contained mid-size flow: generated circuit (no suite disk
+#: cache involved), a real U pool, every stage exercised.
+CONFIG = FlowConfig(
+    circuit=CircuitSpec(kind="generator", name="bench_flow", num_inputs=16,
+                        num_gates=300, num_outputs=12, gen_seed=41,
+                        hardness=0.03),
+    u=USpec(max_vectors=4096),
+    seed=2005,
+)
+
+
+def _timed_run(cache_dir: str):
+    started = time.perf_counter()
+    result = Flow(CONFIG, cache=cache_dir).run()
+    return time.perf_counter() - started, result
+
+
+def run_benchmark() -> dict:
+    """Cold + warm runs against a fresh cache; returns the record."""
+    with tempfile.TemporaryDirectory(prefix="flow-cache-bench-") as cache:
+        cold_seconds, cold = _timed_run(cache)
+        warm_seconds, warm = _timed_run(cache)
+    warm_sources = {info.stage: info.source for info in warm.stages}
+    all_cached = all(
+        source == "cache"
+        for stage, source in warm_sources.items() if stage != "circuit"
+    )
+    assert warm.tests.num_tests == cold.tests.num_tests
+    assert tuple(warm.report.curve) == tuple(cold.report.curve)
+    return {
+        "benchmark": "flow_cache",
+        "config": CONFIG.to_dict(),
+        "num_faults": len(cold.faults),
+        "num_vectors": cold.selection.num_vectors,
+        "num_tests": cold.tests.num_tests,
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "speedup": round(cold_seconds / warm_seconds, 2),
+        "warm_all_cached": all_cached,
+        "warm_stage_sources": warm_sources,
+        "acceptance_speedup": ACCEPTANCE_SPEEDUP,
+    }
+
+
+def main() -> int:
+    """Run, record the JSON, enforce the acceptance bar."""
+    record = run_benchmark()
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(record, indent=1) + "\n")
+    print(f"cold run : {record['cold_seconds']:8.3f} s "
+          f"({record['num_faults']} faults, {record['num_vectors']} vectors, "
+          f"{record['num_tests']} tests)")
+    print(f"warm run : {record['warm_seconds']:8.3f} s "
+          f"(all cached: {record['warm_all_cached']})")
+    print(f"speedup  : {record['speedup']:8.2f}x "
+          f"(acceptance >= {ACCEPTANCE_SPEEDUP}x)")
+    print(f"recorded -> {RESULTS_PATH}")
+    if not record["warm_all_cached"]:
+        print("FAIL: warm run recomputed a stage", file=sys.stderr)
+        return 1
+    if record["speedup"] < ACCEPTANCE_SPEEDUP:
+        print("FAIL: warm-cache speedup below acceptance bar",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def test_warm_flow_run_speedup(benchmark):
+    """pytest-benchmark entry: time the warm run against a primed cache."""
+    with tempfile.TemporaryDirectory(prefix="flow-cache-bench-") as cache:
+        Flow(CONFIG, cache=cache).run()  # prime
+
+        def warm():
+            return Flow(CONFIG, cache=cache).run()
+
+        result = benchmark(warm)
+    assert all(
+        info.source == "cache"
+        for info in result.stages if info.stage != "circuit"
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

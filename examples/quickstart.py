@@ -1,44 +1,56 @@
-"""Quickstart: the whole ADI flow on a small built-in circuit.
+"""Quickstart: the whole ADI flow through the public Flow API.
 
-Pipeline (exactly the paper's): collapse the stuck-at faults, pick the
-random vector set U, compute the accidental detection index, order the
-fault list, and run deterministic test generation with fault dropping.
+One declarative :class:`~repro.flow.config.FlowConfig` names the entire
+pipeline (circuit → faults → U → ADI → order → test generation → curve);
+a :class:`~repro.flow.flow.Flow` runs it with staged memoization, so
+comparing fault orders reuses every upstream artifact.  The same config,
+saved as JSON, reproduces this run from the command line:
+
+    python -m repro run --config flow.json
 
 Run:  python examples/quickstart.py
 """
 
-from repro.adi import ORDERS, compute_adi, select_u
-from repro.atpg import TestGenConfig, generate_tests
-from repro.circuit import lion_like
-from repro.faults import collapsed_fault_list
+from repro.flow import CircuitSpec, Flow, FlowConfig, USpec
 
 
 def main():
-    circ = lion_like()
-    print(f"circuit: {circ.name} — {circ.num_inputs} inputs, "
+    # One config describes the whole run.  kind="generator" synthesizes a
+    # small deterministic circuit; kind="suite" would name a benchmark
+    # circuit (irs208 ... irs13207) instead.
+    config = FlowConfig(
+        circuit=CircuitSpec(kind="generator", name="quickstart",
+                            num_inputs=10, num_gates=60, num_outputs=5,
+                            gen_seed=42),
+        u=USpec(max_vectors=2048),
+        seed=42,
+    )
+    print("config (reproducible recipe):")
+    print(config.to_json())
+
+    flow = Flow(config)  # add cache="results/cache" to persist artifacts
+
+    circ = flow.circuit()
+    print(f"\ncircuit: {circ.name} — {circ.num_inputs} inputs, "
           f"{circ.num_gates} gates, {circ.num_outputs} outputs")
 
     # 1. Target faults: collapsed single stuck-at faults.
-    faults = collapsed_fault_list(circ)
-    print(f"target faults (collapsed): {len(faults)}")
+    print(f"target faults (collapsed): {len(flow.faults())}")
 
-    # 2. U: random vectors until ~90% coverage (here the circuit is tiny,
-    #    so a handful of vectors suffice).
-    selection = select_u(circ, faults, seed=42)
+    # 2. U: random vectors until ~90% coverage (truncated dropping sim).
+    selection = flow.selection()
     print(f"|U| = {selection.num_vectors} vectors, "
           f"coverage of U = {selection.coverage:.1%}")
 
     # 3. ADI per fault, from no-dropping fault simulation of U.
-    adi = compute_adi(circ, faults, selection.patterns)
-    lo, hi = adi.adi_min_max()
+    lo, hi = flow.adi().adi_min_max()
     print(f"ADI range over detected faults: {lo} .. {hi}")
 
-    # 4+5. Order the faults and generate tests, one order at a time.
+    # 4+5. Order the faults and generate tests — one Flow serves every
+    # order; faults/U/ADI are computed once and shared.
     print(f"\n{'order':8s} {'tests':>6s} {'coverage':>9s}")
     for order_name in ("orig", "dynm", "0dynm", "incr0"):
-        permutation = ORDERS[order_name](adi)
-        ordered = [faults[i] for i in permutation]
-        result = generate_tests(circ, ordered, TestGenConfig(seed=42))
+        result = flow.tests(order_name)
         print(f"{order_name:8s} {result.num_tests:6d} "
               f"{result.fault_coverage():9.1%}")
 

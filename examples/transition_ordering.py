@@ -1,52 +1,54 @@
-"""Transition-fault ordering: the ADI flow on the two-pattern workload.
+"""Transition-fault ordering: the Flow API on the two-pattern workload.
 
-Same pipeline as ``quickstart.py`` with the fault model swapped: collapse
-the transition (delay) faults, pick a random set U of launch/capture
-pattern *pairs*, compute the accidental detection index over the pairs,
-order the fault list, and run ordered two-pattern test generation with
-fault dropping.
+Identical to ``quickstart.py`` except for ONE config field —
+``fault_model.name = "transition"``.  The fault-model registry
+(:mod:`repro.faults.registry`) swaps everything behind the facade:
+collapsed transition (delay) faults, a random set U of launch/capture
+pattern *pairs*, ADI over the pairs, and ordered two-pattern test
+generation with fault dropping.
 
 Run:  python examples/transition_ordering.py
 """
 
-from repro.adi import ORDERS, compute_adi, select_u
-from repro.adi.metrics import curve_report
-from repro.atpg import TestGenConfig, generate_transition_tests
-from repro.circuit import lion_like
-from repro.faults import transition_fault_list
+from repro.flow import CircuitSpec, FaultModelSpec, Flow, FlowConfig, USpec
 
 
 def main():
-    circ = lion_like()
+    config = FlowConfig(
+        circuit=CircuitSpec(kind="generator", name="transition_demo",
+                            num_inputs=10, num_gates=60, num_outputs=5,
+                            gen_seed=42),
+        fault_model=FaultModelSpec(name="transition"),  # the ONE change
+        u=USpec(max_vectors=2048),
+        seed=42,
+    )
+    flow = Flow(config)
+
+    circ = flow.circuit()
     print(f"circuit: {circ.name} — {circ.num_inputs} inputs, "
           f"{circ.num_gates} gates, {circ.num_outputs} outputs")
 
     # 1. Target faults: collapsed transition faults (slow-to-rise /
     #    slow-to-fall at every stem and branch).
-    faults = transition_fault_list(circ)
-    print(f"target transition faults (collapsed): {len(faults)}")
+    print(f"target transition faults (collapsed): {len(flow.faults())}")
 
     # 2. U: random two-pattern pairs until ~90% transition coverage.
-    selection = select_u(circ, faults, seed=42, pairs=True)
+    selection = flow.selection()
     print(f"|U| = {selection.num_vectors} pattern pairs, "
           f"coverage of U = {selection.coverage:.1%}")
 
     # 3. ADI per fault — a pair u of U "detects f" iff the launch vector
     #    initializes the line and the capture vector observes the slow
     #    value; the index itself is computed exactly as for stuck-at.
-    adi = compute_adi(circ, faults, selection.patterns)
-    lo, hi = adi.adi_min_max()
+    lo, hi = flow.adi().adi_min_max()
     print(f"ADI range over detected faults: {lo} .. {hi}")
 
-    # 4+5. Order the faults and generate two-pattern tests per order.
+    # 4+5. Ordered two-pattern test generation plus curve steepness, one
+    # order at a time off the shared upstream artifacts.
     print(f"\n{'order':8s} {'tests':>6s} {'coverage':>9s} {'AVE':>7s}")
     for order_name in ("orig", "dynm", "0dynm"):
-        permutation = ORDERS[order_name](adi)
-        ordered = [faults[i] for i in permutation]
-        result = generate_transition_tests(
-            circ, ordered, TestGenConfig(seed=42)
-        )
-        curve = curve_report(circ, faults, result.tests)
+        result = flow.tests(order_name)
+        curve = flow.report(order_name)
         print(f"{order_name:8s} {result.num_tests:6d} "
               f"{result.fault_coverage():9.1%} {curve.ave:7.2f}")
 

@@ -12,7 +12,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-adi",
-    version="0.2.0",
+    version="0.3.0",
     description=(
         "Reproduction of 'The Accidental Detection Index as a Fault "
         "Ordering Heuristic for Full-Scan Circuits' (DATE 2005)"
@@ -25,5 +25,10 @@ setup(
     ],
     extras_require={
         "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro = repro.flow.cli:main",
+        ],
     },
 )

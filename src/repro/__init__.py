@@ -11,22 +11,28 @@ The package layers a complete combinational test-generation stack:
 * :mod:`repro.atpg`     — SCOAP, PODEM, the ordered test-generation engine;
 * :mod:`repro.adi`      — the paper's contribution: the accidental
   detection index and the fault orders built on it;
-* :mod:`repro.experiments` — harnesses regenerating every table and figure.
+* :mod:`repro.flow`     — the stable public facade: declarative
+  :class:`~repro.flow.config.FlowConfig`, the staged
+  :class:`~repro.flow.flow.Flow` object, the content-addressed artifact
+  cache and the ``repro`` CLI (``python -m repro``);
+* :mod:`repro.experiments` — harnesses regenerating every table and figure
+  (thin consumers of the flow facade).
 
 Quickstart::
 
-    from repro.circuit import c17
-    from repro.faults import collapsed_fault_list
-    from repro.adi import select_u, compute_adi, ORDERS
-    from repro.atpg import generate_tests
+    from repro.flow import Flow, FlowConfig, CircuitSpec, OrderSpec
 
-    circ = c17()
-    faults = collapsed_fault_list(circ)
-    u = select_u(circ, faults, seed=1)
-    adi = compute_adi(circ, faults, u.patterns)
-    order = ORDERS["0dynm"](adi)
-    result = generate_tests(circ, [faults[i] for i in order])
-    print(result.num_tests, result.fault_coverage())
+    config = FlowConfig(
+        circuit=CircuitSpec(kind="suite", name="irs208"),
+        order=OrderSpec(name="0dynm"),
+        seed=2005,
+    )
+    result = Flow(config, cache="results/cache").run()
+    print(result.tests.num_tests, result.report.ave)
+
+The underlying callables (``select_u``, ``compute_adi``, ``ORDERS``,
+``generate_tests``…) remain public for piecemeal use; the facade only
+composes them.
 """
 
 from repro import (
@@ -36,6 +42,7 @@ from repro import (
     diagnosis,
     experiments,
     faults,
+    flow,
     fsim,
     sim,
     utils,
@@ -67,6 +74,7 @@ __all__ = [
     "diagnosis",
     "experiments",
     "faults",
+    "flow",
     "fsim",
     "sim",
     "utils",

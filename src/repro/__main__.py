@@ -1,0 +1,13 @@
+"""``python -m repro`` — the flow CLI (see :mod:`repro.flow.cli`).
+
+The paper-table harness keeps its own entry point at
+``python -m repro.experiments``; this one drives arbitrary declarative
+flow configs (``run`` / ``order`` / ``testgen`` / ``report`` / ``cache``).
+"""
+
+import sys
+
+from repro.flow.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,8 +38,8 @@ import numpy as np
 
 from repro.circuit.flatten import CompiledCircuit
 from repro.errors import SimulationError
+from repro.faults.registry import PatternBlock, query_detection_words
 from repro.fsim.backend import FaultSimBackend, resolve_backend
-from repro.fsim.dropping import PatternBlock, query_detection_words
 from repro.fsim.parallel import detection_word
 from repro.sim.patterns import PatternPairSet, PatternSet
 from repro.utils.bitvec import bit_indices, bits_to_array
@@ -147,6 +147,23 @@ def compute_adi(
         engine = resolve_backend(circ, backend)
         words = query_detection_words(engine, patterns, faults)
 
+    return adi_from_detection_words(faults, words, n, mode)
+
+
+def adi_from_detection_words(
+    faults: Sequence[TargetFault],
+    words: Sequence[int],
+    num_vectors: int,
+    mode: AdiMode = AdiMode.MINIMUM,
+) -> AdiResult:
+    """Build an :class:`AdiResult` from precomputed detection words.
+
+    The detection masks fully determine ``ndet``, ``D(f)`` and the
+    indices, so this is both the tail of :func:`compute_adi` and the
+    reconstruction path of the artifact cache (which persists only the
+    masks).
+    """
+    n = num_vectors
     masks: List[int] = []
     det_vectors: List[np.ndarray] = []
     ndet = np.zeros(n, dtype=np.int64)

@@ -18,7 +18,8 @@ from typing import List, Sequence, Tuple
 
 from repro.circuit.flatten import CompiledCircuit
 from repro.errors import ExperimentError
-from repro.fsim.dropping import PatternBlock, coverage_curve
+from repro.faults.registry import PatternBlock
+from repro.fsim.dropping import coverage_curve
 
 
 def ave_from_curve(curve: Sequence[int]) -> float:

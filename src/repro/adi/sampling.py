@@ -10,22 +10,27 @@ The optional ``prune_useless`` flag applies the paper's speed-up note:
 vectors that detect no new fault during the dropping simulation can be
 removed from ``U`` before the (more expensive) no-dropping simulation.
 
-The procedure is fault-model-polymorphic: for transition faults, ``U``
-is a set of two-pattern launch/capture pairs
-(:class:`repro.sim.patterns.PatternPairSet`) selected by exactly the
-same truncated dropping simulation — pass ``pairs=True`` (random pair
-pool) or supply a pair pool via ``patterns=``.
+The procedure is fault-model-polymorphic: the candidate pool comes from
+the fault-model registry (:mod:`repro.faults.registry`) — pass
+``model="transition"`` (or any registered model name) for that model's
+random pool, ``pairs=True`` as stuck-at/transition shorthand, or supply
+a pool explicitly via ``patterns=``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.circuit.flatten import CompiledCircuit
 from repro.errors import SimulationError
+from repro.faults.registry import (
+    FaultModel,
+    PatternBlock,
+    fault_model,
+)
 from repro.fsim.backend import FaultSimBackend
-from repro.fsim.dropping import DropSimResult, PatternBlock, drop_simulate
+from repro.fsim.dropping import DropSimResult, drop_simulate
 from repro.sim.patterns import PatternPairSet, PatternSet
 
 
@@ -66,35 +71,39 @@ def select_u(
     patterns: Optional[PatternBlock] = None,
     backend: "str | FaultSimBackend | None" = None,
     pairs: bool = False,
+    model: Union[str, FaultModel, None] = None,
 ) -> USelection:
     """Choose ``U`` by the paper's truncated random-simulation procedure.
 
-    ``patterns`` overrides the random candidate pool (used by the worked
-    example, which supplies the 16 exhaustive vectors of ``lion``) and
-    may be a :class:`PatternPairSet` when ``faults`` are transition
-    faults; ``pairs=True`` makes the default random pool a pair pool
-    instead of supplying one explicitly.  ``backend`` selects the
-    fault-simulation engine for the dropping run.
+    The candidate pool comes from the fault-model registry: ``model``
+    names the registered fault model whose random pool to draw
+    (``"stuck_at"`` by default); ``pairs=True`` is shorthand for
+    ``model="transition"``.  ``patterns`` overrides the pool entirely
+    (used by the worked example, which supplies the 16 exhaustive vectors
+    of ``lion``) and must then match the chosen model's container type.
+    ``backend`` selects the fault-simulation engine for the dropping run.
     """
     if not 0.0 < target_coverage <= 1.0:
         raise SimulationError("target_coverage must be in (0, 1]")
-    if (patterns is not None and pairs
-            and not isinstance(patterns, PatternPairSet)):
-        # An explicit pool is authoritative; fail here, with the flag,
-        # instead of deep inside the backend.
+    if pairs:
+        if model is not None and fault_model(model).name != "transition":
+            raise SimulationError(
+                f"pairs=True conflicts with model={fault_model(model).name!r}"
+            )
+        model = "transition"
+    resolved = fault_model(model) if model is not None else None
+    if (patterns is not None and resolved is not None
+            and not isinstance(patterns, resolved.container_type)):
+        # An explicit pool is authoritative; fail here, with the model
+        # named, instead of deep inside the backend.
         raise SimulationError(
-            f"pairs=True conflicts with a candidate pool of type "
+            f"fault model {resolved.name!r} expects a candidate pool of "
+            f"type {resolved.container_type.__name__}, got "
             f"{type(patterns).__name__}"
         )
     if patterns is None:
-        if pairs:
-            patterns = PatternPairSet.random(
-                circ.num_inputs, max_vectors, seed=seed
-            )
-        else:
-            patterns = PatternSet.random(
-                circ.num_inputs, max_vectors, seed=seed
-            )
+        pool_model = resolved if resolved is not None else fault_model("stuck_at")
+        patterns = pool_model.random_pool(circ.num_inputs, max_vectors, seed)
     elif patterns.num_inputs != circ.num_inputs:
         raise SimulationError(
             f"candidate pool has {patterns.num_inputs} inputs, "

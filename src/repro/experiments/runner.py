@@ -1,37 +1,47 @@
-"""Shared experiment plumbing: one place that runs the per-circuit flow.
+"""Shared experiment plumbing: a thin consumer of the flow facade.
 
 Tables 5, 6 and 7 and Figure 1 all consume the *same* test-generation
 runs (the paper reports different views of one experiment), so the runner
-memoizes every stage per (circuit, order):
+keeps one :class:`repro.flow.flow.Flow` per (circuit, fault model) and
+lets the facade's staged memoization share every upstream artifact
+between orders::
 
     circuit -> faults -> U selection -> ADI -> order -> test generation
 
-The transition-fault experiment runs the same staged flow with the fault
-model swapped (transition faults, two-pattern ``U``, pair test sets) via
-the ``prepare_transition`` / ``transition_testgen`` / ``transition_curve``
-stages.  Everything is deterministic given the runner's seed.
+Historically this module *was* a second implementation of that pipeline;
+it is now only a mapping from the experiment harness's vocabulary
+(circuit names, order names, the prepared-circuit bundles the table
+modules consume) onto :class:`~repro.flow.flow.Flow` calls.  The
+transition-fault experiment is the same mapping with
+``fault_model="transition"``.  Everything is deterministic given the
+runner's seed, and passing ``cache_dir`` persists every stage in the
+content-addressed artifact cache so repeated table runs skip whole
+stages.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.adi import ORDERS, AdiResult, USelection, compute_adi, select_u
-from repro.adi.metrics import CurveReport, curve_report
-from repro.atpg import (
-    TestGenConfig,
-    TestGenResult,
-    TransitionTestGenResult,
-    generate_transition_tests,
-    generate_tests,
-)
+from dataclasses import dataclass
+
+from repro.adi import AdiResult, USelection
+from repro.adi.metrics import CurveReport
+from repro.atpg import TestGenResult, TransitionTestGenResult
 from repro.circuit.flatten import CompiledCircuit
-from repro.errors import ExperimentError
 from repro.experiments import suite
-from repro.faults import collapse_faults, collapse_transition_faults
 from repro.faults.model import Fault
 from repro.faults.transition import TransitionFault
+from repro.flow.cache import ArtifactCache
+from repro.flow.config import (
+    BackendSpec,
+    CircuitSpec,
+    FaultModelSpec,
+    FlowConfig,
+    TestGenSpec,
+    USpec,
+)
+from repro.flow.flow import Flow
 
 #: Orders reported by the paper's Table 5, in column order.
 TABLE5_ORDERS: Tuple[str, ...] = ("orig", "dynm", "0dynm", "incr0")
@@ -82,87 +92,77 @@ class ExperimentRunner:
     """Memoizing driver for the whole experiment pipeline.
 
     ``fsim_backend`` names the fault-simulation engine every stage uses
-    (``None`` — registry default, honouring ``REPRO_FSIM_BACKEND``); one
-    argument switches the whole pipeline (see :mod:`repro.fsim.backend`).
+    (``None`` — registry default, honouring ``REPRO_FSIM_BACKEND``);
+    ``cache_dir`` attaches the content-addressed artifact cache
+    (``None`` — in-memory memoization only, the historical behaviour).
+    One :class:`~repro.flow.flow.Flow` per (circuit, fault model) does
+    all the work; this class only translates the harness vocabulary.
     """
 
     def __init__(self, seed: int = 2005,
                  max_vectors: int = 10_000,
                  target_coverage: float = 0.90,
                  backtrack_limit: int = 200,
-                 fsim_backend: Optional[str] = None):
+                 fsim_backend: Optional[str] = None,
+                 cache_dir: Union[ArtifactCache, str, None] = None):
         self.seed = seed
         self.max_vectors = max_vectors
         self.target_coverage = target_coverage
         self.backtrack_limit = backtrack_limit
         self.fsim_backend = fsim_backend
+        self._cache = cache_dir
+        self._flows: Dict[Tuple[str, str], Flow] = {}
         self._prepared: Dict[str, PreparedCircuit] = {}
-        self._testgen: Dict[Tuple[str, str], TestGenResult] = {}
-        self._curves: Dict[Tuple[str, str], CurveReport] = {}
         self._prepared_transition: Dict[str, PreparedTransitionCircuit] = {}
-        self._transition_testgen: Dict[Tuple[str, str],
-                                       TransitionTestGenResult] = {}
-        self._transition_curves: Dict[Tuple[str, str], CurveReport] = {}
 
-    # -- pipeline stages ------------------------------------------------------
+    # -- the facade binding ---------------------------------------------------
+
+    def flow(self, name: str, fault_model: str = "stuck_at") -> Flow:
+        """The (cached) Flow for one suite circuit and fault model.
+
+        Exposed so experiment code can reach facade features the legacy
+        runner API does not surface (stage keys, provenance, artifacts).
+        """
+        key = (name, fault_model)
+        if key not in self._flows:
+            suite.suite_entry(name)  # unknown circuits fail loudly here
+            config = FlowConfig(
+                circuit=CircuitSpec(kind="suite", name=name),
+                fault_model=FaultModelSpec(name=fault_model),
+                u=USpec(max_vectors=self.max_vectors,
+                        target_coverage=self.target_coverage),
+                testgen=TestGenSpec(backtrack_limit=self.backtrack_limit),
+                backend=BackendSpec(fsim=self.fsim_backend),
+                seed=self.seed,
+            )
+            self._flows[key] = Flow(config, cache=self._cache)
+        return self._flows[key]
+
+    # -- stuck-at pipeline stages ---------------------------------------------
 
     def prepare(self, name: str) -> PreparedCircuit:
         """Circuit + faults + ``U`` + ADI for one suite circuit (cached)."""
         if name not in self._prepared:
-            circ = suite.build_circuit(name)
-            faults = list(collapse_faults(circ).representatives)
-            selection = select_u(
-                circ, faults,
-                seed=self.seed,
-                max_vectors=self.max_vectors,
-                target_coverage=self.target_coverage,
-                backend=self.fsim_backend,
-            )
-            adi = compute_adi(circ, faults, selection.patterns,
-                              backend=self.fsim_backend)
+            flow = self.flow(name)
             self._prepared[name] = PreparedCircuit(
-                circuit=circ, faults=faults, selection=selection, adi=adi
+                circuit=flow.circuit(),
+                faults=list(flow.faults()),
+                selection=flow.selection(),
+                adi=flow.adi(),
             )
         return self._prepared[name]
 
     def order_permutation(self, name: str, order: str) -> List[int]:
         """The permutation a named order induces for one circuit."""
-        if order not in ORDERS:
-            raise ExperimentError(
-                f"unknown order {order!r}; available: {sorted(ORDERS)}"
-            )
-        prepared = self.prepare(name)
-        return ORDERS[order](prepared.adi)
+        return self.flow(name).permutation(order)
 
     def testgen(self, name: str, order: str) -> TestGenResult:
         """Ordered test generation for (circuit, order), cached."""
-        key = (name, order)
-        if key not in self._testgen:
-            prepared = self.prepare(name)
-            permutation = self.order_permutation(name, order)
-            ordered = [prepared.faults[i] for i in permutation]
-            config = TestGenConfig(
-                backtrack_limit=self.backtrack_limit,
-                fill="random",
-                seed=self.seed,
-                backend=self.fsim_backend,
-            )
-            self._testgen[key] = generate_tests(
-                prepared.circuit, ordered, config
-            )
-        return self._testgen[key]
+        return self.flow(name).tests(order)
 
     def curve(self, name: str, order: str) -> CurveReport:
         """Coverage curve of the generated test set, cached."""
-        key = (name, order)
-        if key not in self._curves:
-            prepared = self.prepare(name)
-            result = self.testgen(name, order)
-            self._curves[key] = curve_report(
-                prepared.circuit, prepared.faults, result.tests,
-                backend=self.fsim_backend,
-            )
-        return self._curves[key]
+        return self.flow(name).report(order)
 
     # -- transition-fault pipeline --------------------------------------------
 
@@ -174,62 +174,27 @@ class ExperimentRunner:
         at the target coverage, ADI over the selected pairs.
         """
         if name not in self._prepared_transition:
-            circ = suite.build_circuit(name)
-            faults = list(collapse_transition_faults(circ).representatives)
-            selection = select_u(
-                circ, faults,
-                seed=self.seed,
-                max_vectors=self.max_vectors,
-                target_coverage=self.target_coverage,
-                backend=self.fsim_backend,
-                pairs=True,
-            )
-            adi = compute_adi(circ, faults, selection.patterns,
-                              backend=self.fsim_backend)
+            flow = self.flow(name, "transition")
             self._prepared_transition[name] = PreparedTransitionCircuit(
-                circuit=circ, faults=faults, selection=selection, adi=adi
+                circuit=flow.circuit(),
+                faults=list(flow.faults()),
+                selection=flow.selection(),
+                adi=flow.adi(),
             )
         return self._prepared_transition[name]
 
     def transition_order_permutation(self, name: str, order: str) -> List[int]:
         """The permutation a named order induces on the transition list."""
-        if order not in ORDERS:
-            raise ExperimentError(
-                f"unknown order {order!r}; available: {sorted(ORDERS)}"
-            )
-        prepared = self.prepare_transition(name)
-        return ORDERS[order](prepared.adi)
+        return self.flow(name, "transition").permutation(order)
 
     def transition_testgen(self, name: str,
                            order: str) -> TransitionTestGenResult:
         """Ordered two-pattern test generation for (circuit, order), cached."""
-        key = (name, order)
-        if key not in self._transition_testgen:
-            prepared = self.prepare_transition(name)
-            permutation = self.transition_order_permutation(name, order)
-            ordered = [prepared.faults[i] for i in permutation]
-            config = TestGenConfig(
-                backtrack_limit=self.backtrack_limit,
-                fill="random",
-                seed=self.seed,
-                backend=self.fsim_backend,
-            )
-            self._transition_testgen[key] = generate_transition_tests(
-                prepared.circuit, ordered, config
-            )
-        return self._transition_testgen[key]
+        return self.flow(name, "transition").tests(order)
 
     def transition_curve(self, name: str, order: str) -> CurveReport:
         """Coverage curve of the generated two-pattern test set, cached."""
-        key = (name, order)
-        if key not in self._transition_curves:
-            prepared = self.prepare_transition(name)
-            result = self.transition_testgen(name, order)
-            self._transition_curves[key] = curve_report(
-                prepared.circuit, prepared.faults, result.tests,
-                backend=self.fsim_backend,
-            )
-        return self._transition_curves[key]
+        return self.flow(name, "transition").report(order)
 
     # -- convenience -----------------------------------------------------------
 

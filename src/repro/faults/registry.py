@@ -1,0 +1,259 @@
+"""The fault-model registry: one pluggable description per fault model.
+
+The ADI pipeline is fault-model-polymorphic — the paper's argument only
+needs a notion of "vector set" and "detection word", not a specific
+defect mechanism.  Historically that polymorphism lived in scattered
+``isinstance`` checks on the pattern container; this module centralizes
+it, mirroring the engine registry of :mod:`repro.fsim.backend`: a
+:class:`FaultModel` bundles everything a pipeline stage needs to know
+about one model —
+
+* how to enumerate and structurally collapse its fault universe;
+* which pattern container carries its tests (:class:`PatternSet` for
+  single vectors, :class:`PatternPairSet` for launch/capture pairs) and
+  how to draw a random candidate pool of them;
+* how to stage a block into a fault-simulation backend and query
+  detection words (the stuck-at vs. two-pattern engine contract);
+* which ordered test-generation loop produces its tests;
+* a JSON codec for individual faults (artifact caching).
+
+``stuck_at`` and ``transition`` register here at import time; adding a
+future model (e.g. bridging) means registering one new
+:class:`FaultModel` — ``compute_adi``, ``select_u``, ``drop_simulate``,
+the fault orders, the :class:`repro.flow.flow.Flow` facade and the CLI
+all dispatch through this registry and pick it up unchanged.
+
+:func:`query_detection_words` and the :data:`PatternBlock` alias moved
+here from :mod:`repro.fsim.dropping` (which keeps deprecated aliases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Union
+
+from repro.errors import FaultModelError
+from repro.faults.collapse import collapsed_fault_list
+from repro.faults.model import Fault
+from repro.faults.transition import (
+    TransitionFault,
+    transition_fault_list,
+    transition_universe,
+)
+from repro.faults.universe import full_universe
+from repro.sim.patterns import PatternPairSet, PatternSet
+
+#: A simulatable block of tests: single vectors, or two-pattern
+#: (launch, capture) pairs — every pipeline stage is polymorphic over
+#: both, dispatching through :func:`model_for_block`.
+PatternBlock = Union[PatternSet, PatternPairSet]
+
+
+def default_testgen_result_from_json(common, payload):
+    """Construct a plain :class:`~repro.atpg.engine.TestGenResult`.
+
+    The default ``testgen_result_from_json`` for models whose test
+    generator returns the standard result type; models with their own
+    type (extra fields, different class) override it — see the
+    transition model.
+    """
+    from repro.atpg.engine import TestGenResult
+
+    return TestGenResult(**common)
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Everything the pipeline needs to know about one fault model.
+
+    The callables deliberately have the narrowest useful signatures so
+    that registering a model never forces importing heavy machinery:
+
+    ``universe(circ)`` / ``collapse(circ)``
+        Full and structurally collapsed fault lists, in deterministic
+        (topological) order — the model's ``Forig``.
+    ``random_pool(num_inputs, count, seed)``
+        A random candidate pool of ``count`` tests in the model's
+        container type (the raw material of ``U`` selection).
+    ``load(engine, block)`` / ``query(engine, faults)``
+        Stage a block into a :class:`repro.fsim.backend.FaultSimBackend`
+        and answer detection words for it — the stuck-at contract for
+        single vectors, the two-pattern contract for pairs.
+    ``testgen(circ, ordered_faults, config)``
+        The ordered fault-dropping test-generation loop
+        (:func:`repro.atpg.engine.generate_tests` or
+        :func:`repro.atpg.transition.generate_transition_tests`);
+        implementations import lazily to keep the registry import-light.
+    ``fault_to_json(fault)`` / ``fault_from_json(data)``
+        A stable JSON codec for one fault, used by the artifact cache.
+    ``testgen_result_from_json(common, payload)``
+        Construct the model's test-generation result type from the
+        decoded shared fields plus the raw payload (for model-specific
+        extras like ``launch_fallbacks``) — the cache's counterpart of
+        ``testgen``, so deserialization never switches on model names.
+    """
+
+    name: str
+    fault_type: type
+    container_type: type
+    universe: Callable
+    collapse: Callable
+    random_pool: Callable
+    load: Callable
+    query: Callable
+    testgen: Callable
+    fault_to_json: Callable
+    fault_from_json: Callable
+    testgen_result_from_json: Callable = default_testgen_result_from_json
+
+    def target_faults(self, circ, collapse: bool = True) -> list:
+        """The model's target list ``F``: collapsed by default."""
+        return list(self.collapse(circ) if collapse else self.universe(circ))
+
+
+_REGISTRY: Dict[str, FaultModel] = {}
+
+
+def register_fault_model(model: FaultModel, replace: bool = False) -> None:
+    """Register a fault model under its ``name``.
+
+    Third-party models plug in here; ``replace=True`` allows overriding a
+    built-in (used by tests to stub models).
+    """
+    if not replace and model.name in _REGISTRY:
+        raise FaultModelError(
+            f"fault model {model.name!r} already registered"
+        )
+    _REGISTRY[model.name] = model
+
+
+def available_fault_models() -> List[str]:
+    """Registered fault-model names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def fault_model(name: Union[str, FaultModel]) -> FaultModel:
+    """Look up a fault model by name (instances pass through).
+
+    Unknown names raise :class:`repro.errors.FaultModelError` listing the
+    registered models, so a typo in a config fails loudly at resolution
+    time rather than as a ``KeyError`` deep in a pipeline.
+    """
+    if isinstance(name, FaultModel):
+        return name
+    model = _REGISTRY.get(name)
+    if model is None:
+        raise FaultModelError(
+            f"unknown fault model {name!r}; "
+            f"available: {available_fault_models()}"
+        )
+    return model
+
+
+def model_for_block(block: PatternBlock) -> FaultModel:
+    """Dispatch on a pattern container: the model whose tests it holds.
+
+    This one lookup replaces the historical ``isinstance`` checks in
+    ``compute_adi`` / ``select_u`` / ``drop_simulate``; an unknown
+    container type raises :class:`repro.errors.FaultModelError` naming
+    the registered containers.
+    """
+    for model in _REGISTRY.values():
+        if isinstance(block, model.container_type):
+            # PatternPairSet is not a PatternSet subclass (and vice
+            # versa), so the first match is the only match.
+            return model
+    raise FaultModelError(
+        f"no registered fault model consumes pattern blocks of type "
+        f"{type(block).__name__}; registered containers: "
+        f"{sorted(m.container_type.__name__ for m in _REGISTRY.values())}"
+    )
+
+
+def query_detection_words(engine, block: PatternBlock,
+                          faults: Sequence) -> List[int]:
+    """Load ``block`` into ``engine`` and query every fault's word.
+
+    Dispatches through the registry on the block type: a
+    :class:`PatternPairSet` routes to the engine's two-pattern transition
+    contract, a :class:`PatternSet` to the plain stuck-at contract.  This
+    one switch makes every consumer built on blocks of patterns
+    (dropping, ``U`` selection, coverage curves, ADI) work for every
+    registered fault model.
+    """
+    model = model_for_block(block)
+    model.load(engine, block)
+    return model.query(engine, faults)
+
+
+# -- built-in models ----------------------------------------------------------
+
+def _stuck_at_testgen(circ, ordered_faults, config=None):
+    """Lazy forwarder to :func:`repro.atpg.engine.generate_tests`."""
+    from repro.atpg.engine import generate_tests
+
+    return generate_tests(circ, ordered_faults, config)
+
+
+def _transition_testgen(circ, ordered_faults, config=None):
+    """Lazy forwarder to :func:`~repro.atpg.transition.generate_transition_tests`."""
+    from repro.atpg.transition import generate_transition_tests
+
+    return generate_transition_tests(circ, ordered_faults, config)
+
+
+def _transition_result_from_json(common, payload):
+    """Lazy constructor for a cached
+    :class:`~repro.atpg.transition.TransitionTestGenResult`."""
+    from repro.atpg.transition import TransitionTestGenResult
+
+    return TransitionTestGenResult(
+        launch_fallbacks=int(payload.get("launch_fallbacks", 0)), **common
+    )
+
+
+def _stuck_at_from_json(data) -> Fault:
+    node, pin, value = data
+    return Fault(int(node), int(pin), int(value))
+
+
+def _transition_from_json(data) -> TransitionFault:
+    node, pin, rise = data
+    return TransitionFault(int(node), int(pin), int(rise))
+
+
+STUCK_AT = FaultModel(
+    name="stuck_at",
+    fault_type=Fault,
+    container_type=PatternSet,
+    universe=full_universe,
+    collapse=collapsed_fault_list,
+    random_pool=lambda num_inputs, count, seed: PatternSet.random(
+        num_inputs, count, seed=seed
+    ),
+    load=lambda engine, block: engine.load(block),
+    query=lambda engine, faults: engine.detection_words(faults),
+    testgen=_stuck_at_testgen,
+    fault_to_json=lambda f: [f.node, f.pin, f.value],
+    fault_from_json=_stuck_at_from_json,
+)
+
+TRANSITION = FaultModel(
+    name="transition",
+    fault_type=TransitionFault,
+    container_type=PatternPairSet,
+    universe=transition_universe,
+    collapse=transition_fault_list,
+    random_pool=lambda num_inputs, count, seed: PatternPairSet.random(
+        num_inputs, count, seed=seed
+    ),
+    load=lambda engine, block: engine.load_pairs(block),
+    query=lambda engine, faults: engine.transition_detection_words(faults),
+    testgen=_transition_testgen,
+    fault_to_json=lambda f: [f.node, f.pin, f.rise],
+    fault_from_json=_transition_from_json,
+    testgen_result_from_json=_transition_result_from_json,
+)
+
+register_fault_model(STUCK_AT)
+register_fault_model(TRANSITION)

@@ -1,0 +1,198 @@
+"""Content-addressed artifact cache for flow stage results.
+
+Every stage of a :class:`repro.flow.flow.Flow` run produces one artifact
+(collapsed faults, the selected ``U``, the ADI data, a permutation, a
+test set, a curve report).  Each artifact is keyed by a *stable* SHA-256
+hash of
+
+* the stage name and a format version,
+* the JSON form of the config subtree the stage consumes, and
+* the keys of its upstream artifacts,
+
+so a key names the full provenance of a result: change any knob and
+every downstream key changes with it, while untouched upstream stages
+keep their keys — re-running an experiment with one knob changed
+recomputes only the stages below the change.  This is the scaling
+primitive for sweeping many circuits × orders × models: the sweep pays
+for each distinct sub-pipeline once.
+
+Artifacts persist as JSON files under ``results/cache/<stage>/<key>.json``
+(override with ``REPRO_FLOW_CACHE_DIR`` or an explicit root).  Writes are
+atomic (temp file + rename); corrupt or truncated files — a killed run,
+a full disk — are detected on read, deleted, and transparently
+recomputed.  Keys are pure content hashes, so the cache is safe to share
+between processes and to prune at any time (``repro cache prune``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+#: Bump when any artifact's JSON layout changes; part of every key.
+CACHE_FORMAT_VERSION = 1
+
+#: Environment variable overriding the default cache root.
+CACHE_ENV_VAR = "REPRO_FLOW_CACHE_DIR"
+
+#: Default cache root, relative to the working directory.
+DEFAULT_CACHE_ROOT = os.path.join("results", "cache")
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON text for hashing: sorted keys, tight separators.
+
+    Raises ``TypeError`` for values JSON cannot represent — hashing must
+    never silently coerce (that is how two different configs end up with
+    one key).
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def stable_hash(obj: Any) -> str:
+    """SHA-256 hex digest of an object's canonical JSON form.
+
+    Independent of process, platform and ``PYTHONHASHSEED`` — the
+    property the whole cache rests on (tested by hashing in a
+    subprocess).
+    """
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def stage_key(stage: str, config_part: Any,
+              upstream: Sequence[str] = ()) -> str:
+    """The content-address of one stage result.
+
+    ``config_part`` is the JSON-ready config subtree the stage consumes;
+    ``upstream`` the keys of the artifacts it builds on (order matters
+    and is fixed per stage).
+    """
+    return stable_hash({
+        "stage": stage,
+        "format": CACHE_FORMAT_VERSION,
+        "config": config_part,
+        "upstream": list(upstream),
+    })
+
+
+def default_cache_root() -> Path:
+    """``$REPRO_FLOW_CACHE_DIR`` or ``results/cache``."""
+    override = os.environ.get(CACHE_ENV_VAR, "").strip()
+    return Path(override) if override else Path(DEFAULT_CACHE_ROOT)
+
+
+class ArtifactCache:
+    """A directory of content-addressed JSON artifacts, one per stage result.
+
+    The cache never interprets payloads — (de)serialization belongs to
+    :mod:`repro.flow.serialize` — it only guarantees that what
+    :meth:`get` returns is exactly what :meth:`put` stored under the same
+    key, or ``None``.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None):
+        self.root = Path(root) if root is not None else default_cache_root()
+
+    def _path(self, stage: str, key: str) -> Path:
+        return self.root / stage / f"{key}.json"
+
+    def get(self, stage: str, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for (stage, key), or ``None``.
+
+        A corrupt or truncated file (interrupted writer, bad disk) is
+        removed so the caller recomputes and overwrites it.
+        """
+        path = self._path(stage, key)
+        try:
+            text = path.read_text()
+        except (FileNotFoundError, OSError):
+            return None
+        try:
+            document = json.loads(text)
+            if (not isinstance(document, dict)
+                    or document.get("key") != key
+                    or "payload" not in document):
+                raise ValueError("artifact document malformed")
+        except (ValueError, TypeError):
+            # Corrupt cache entry: recover by deleting, caller recomputes.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return document["payload"]
+
+    def put(self, stage: str, key: str, payload: Dict[str, Any]) -> Path:
+        """Persist a payload atomically; returns the artifact path."""
+        path = self._path(stage, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {
+            "format": CACHE_FORMAT_VERSION,
+            "stage": stage,
+            "key": key,
+            "payload": payload,
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:16]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(document, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # -- maintenance ---------------------------------------------------------
+
+    def _artifact_files(self, stage: Optional[str] = None) -> Iterable[Path]:
+        roots: List[Path]
+        if stage is not None:
+            roots = [self.root / stage]
+        elif self.root.is_dir():
+            roots = [p for p in self.root.iterdir() if p.is_dir()]
+        else:
+            roots = []
+        for directory in roots:
+            if directory.is_dir():
+                yield from sorted(directory.glob("*.json"))
+
+    def stats(self) -> Dict[str, Any]:
+        """Per-stage artifact counts and total size, for ``repro cache``."""
+        stages: Dict[str, Dict[str, int]] = {}
+        total_files = 0
+        total_bytes = 0
+        for path in self._artifact_files():
+            stage = path.parent.name
+            entry = stages.setdefault(stage, {"files": 0, "bytes": 0})
+            size = path.stat().st_size
+            entry["files"] += 1
+            entry["bytes"] += size
+            total_files += 1
+            total_bytes += size
+        return {
+            "root": str(self.root),
+            "stages": stages,
+            "total_files": total_files,
+            "total_bytes": total_bytes,
+        }
+
+    def prune(self, stage: Optional[str] = None) -> int:
+        """Delete all artifacts (of one stage, or everywhere); returns count."""
+        removed = 0
+        for path in self._artifact_files(stage):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

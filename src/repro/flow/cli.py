@@ -1,0 +1,387 @@
+"""The ``repro`` command line: run flows, inspect stages, manage the cache.
+
+Usage (installed console script, or ``python -m repro``)::
+
+    repro run     --circuit irs208 --order 0dynm          # full pipeline
+    repro run     --config flow.json --json               # declarative + JSON
+    repro order   --circuit irs208 --order dynm           # just the permutation
+    repro testgen --circuit irs208 --write-tests t.txt    # tests + pattern file
+    repro report  --circuit irs208 --order 0dynm          # coverage curve / AVE
+    repro cache stats                                     # artifact inventory
+    repro cache prune --stage testgen                     # drop one stage
+
+Every run subcommand accepts the same configuration surface: ``--config``
+loads a :class:`repro.flow.config.FlowConfig` JSON document, and
+individual flags override single knobs on top of it, so a checked-in
+config plus one ``--order`` flag expresses a whole comparison.  With
+``--json`` the output is the stable ``repro.flow/v1`` schema (see
+:meth:`repro.flow.flow.FlowResult.summary`); without it, a human-readable
+text summary.  ``--dump-config`` prints the fully resolved config and
+exits — the reproducibility receipt to commit next to results.
+
+Artifacts go to the content-addressed cache under ``results/cache`` by
+default (``--cache-dir`` overrides, ``--no-cache`` disables), so a
+second ``repro run`` of the same config answers from disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.flow.cache import ArtifactCache, default_cache_root
+from repro.flow.config import (
+    AdiSpec,
+    BackendSpec,
+    CircuitSpec,
+    FaultModelSpec,
+    FlowConfig,
+    OrderSpec,
+    TestGenSpec,
+    USpec,
+)
+from repro.flow.flow import Flow
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared configuration surface of every run-style subcommand."""
+    group = parser.add_argument_group("flow configuration")
+    group.add_argument("--config", metavar="FILE",
+                       help="FlowConfig JSON document to start from")
+    group.add_argument("--circuit", metavar="NAME",
+                       help="suite circuit name (kind=suite)")
+    group.add_argument("--bench", metavar="PATH",
+                       help=".bench netlist path (kind=bench)")
+    group.add_argument("--generate", metavar="I,G,O",
+                       help="synthesize a circuit with I inputs, G gates, "
+                            "O outputs (kind=generator)")
+    group.add_argument("--gen-seed", type=int, metavar="N",
+                       help="generator seed (kind=generator, default 0)")
+    group.add_argument("--name", metavar="NAME",
+                       help="circuit name for --bench/--generate")
+    group.add_argument("--fault-model", metavar="MODEL",
+                       help="registered fault model (stuck_at, transition)")
+    group.add_argument("--no-collapse", action="store_true",
+                       help="target the full fault universe, not the "
+                            "collapsed list")
+    group.add_argument("--seed", type=int, metavar="N",
+                       help="the one random seed of the run")
+    group.add_argument("--order", metavar="NAME",
+                       help="fault order fed to the ATPG (orig, decr, "
+                            "0decr, incr0, dynm, 0dynm)")
+    group.add_argument("--adi-mode", metavar="MODE",
+                       help="ADI summary mode: minimum or average")
+    group.add_argument("--max-vectors", type=int, metavar="N",
+                       help="size of the random candidate pool for U")
+    group.add_argument("--target-coverage", type=float, metavar="F",
+                       help="U-selection truncation coverage in (0, 1]")
+    group.add_argument("--prune-useless", action="store_true",
+                       help="drop vectors of U that detect nothing new")
+    group.add_argument("--backtrack-limit", type=int, metavar="N",
+                       help="PODEM backtrack limit per fault")
+    group.add_argument("--fill", metavar="POLICY",
+                       help="X-fill policy: random, zero or one")
+    group.add_argument("--backend", metavar="NAME",
+                       help="fault-simulation backend (bigint, numpy, auto)")
+    group.add_argument("--cache-dir", metavar="DIR",
+                       help=f"artifact cache root (default "
+                            f"{default_cache_root()})")
+    group.add_argument("--no-cache", action="store_true",
+                       help="in-memory memoization only, no disk artifacts")
+    group.add_argument("--dump-config", action="store_true",
+                       help="print the resolved FlowConfig JSON and exit")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of text")
+    parser.add_argument("--out", metavar="FILE",
+                        help="write the output document to FILE as well")
+
+
+def build_config(args: argparse.Namespace) -> FlowConfig:
+    """Resolve ``--config`` plus individual flag overrides to a FlowConfig."""
+    config = (FlowConfig.from_json(args.config) if args.config
+              else FlowConfig())
+
+    circuit = config.circuit
+    sources = [s for s in (args.circuit, args.bench, args.generate) if s]
+    if len(sources) > 1:
+        raise ReproError(
+            "--circuit, --bench and --generate are mutually exclusive"
+        )
+    if args.circuit:
+        circuit = CircuitSpec(kind="suite", name=args.circuit)
+    elif args.bench:
+        circuit = CircuitSpec(kind="bench", path=args.bench,
+                              name=args.name or Path(args.bench).stem)
+    elif args.generate:
+        try:
+            inputs, gates, outputs = (
+                int(v) for v in args.generate.split(",")
+            )
+        except ValueError:
+            raise ReproError(
+                f"--generate expects I,G,O integers, got {args.generate!r}"
+            )
+        circuit = CircuitSpec(
+            kind="generator", name=args.name or "generated",
+            num_inputs=inputs, num_gates=gates, num_outputs=outputs,
+            gen_seed=args.gen_seed if args.gen_seed is not None else 0,
+        )
+    elif args.gen_seed is not None:
+        circuit = dataclasses.replace(circuit, gen_seed=args.gen_seed)
+
+    fault_model = config.fault_model
+    if args.fault_model:
+        fault_model = dataclasses.replace(fault_model, name=args.fault_model)
+    if args.no_collapse:
+        fault_model = dataclasses.replace(fault_model, collapse=False)
+
+    u = config.u
+    if args.max_vectors is not None:
+        u = dataclasses.replace(u, max_vectors=args.max_vectors)
+    if args.target_coverage is not None:
+        u = dataclasses.replace(u, target_coverage=args.target_coverage)
+    if args.prune_useless:
+        u = dataclasses.replace(u, prune_useless=True)
+
+    adi = config.adi
+    if args.adi_mode:
+        adi = AdiSpec(mode=args.adi_mode)
+
+    order = config.order
+    if args.order:
+        order = OrderSpec(name=args.order)
+
+    testgen = config.testgen
+    if args.backtrack_limit is not None:
+        testgen = dataclasses.replace(
+            testgen, backtrack_limit=args.backtrack_limit
+        )
+    if args.fill:
+        testgen = dataclasses.replace(testgen, fill=args.fill)
+
+    backend = config.backend
+    if args.backend:
+        backend = BackendSpec(fsim=args.backend)
+
+    seed = args.seed if args.seed is not None else config.seed
+    return FlowConfig(
+        circuit=circuit, fault_model=fault_model, u=u, adi=adi,
+        order=order, testgen=testgen, backend=backend, seed=seed,
+        version=config.version,
+    ).validate()
+
+
+def _make_flow(args: argparse.Namespace, config: FlowConfig) -> Flow:
+    cache = None if args.no_cache else (args.cache_dir or None)
+    if cache is None and not args.no_cache:
+        cache = default_cache_root()
+    return Flow(config, cache=cache)
+
+
+def _emit(text: str, args: argparse.Namespace) -> None:
+    print(text)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+
+
+def _run_style_command(args: argparse.Namespace,
+                       render) -> int:
+    """Shared driver of run/order/testgen/report: config → flow → output."""
+    config = build_config(args)
+    if args.dump_config:
+        _emit(config.to_json(), args)
+        return 0
+    flow = _make_flow(args, config)
+    document, text = render(flow, config)
+    if getattr(args, "write_tests", None):
+        _write_tests(flow, args.write_tests)
+    _emit(json.dumps(document, indent=1) if args.json else text, args)
+    return 0
+
+
+# -- subcommand renderers -----------------------------------------------------
+
+def _render_run(flow: Flow, config: FlowConfig):
+    result = flow.run()
+    summary = result.summary()
+    lines = [
+        f"circuit    {result.circuit.name}: {result.circuit.num_inputs} "
+        f"inputs, {result.circuit.num_gates} gates, "
+        f"{result.circuit.num_outputs} outputs",
+        f"faults     {len(result.faults)} ({config.fault_model.name}"
+        f"{', collapsed' if config.fault_model.collapse else ''})",
+        f"U          {result.selection.num_vectors} vectors, coverage "
+        f"{result.selection.coverage:.1%}",
+        f"ADI        {summary['adi']['min']} .. {summary['adi']['max']}",
+        f"order      {result.order_name}",
+        f"tests      {result.tests.num_tests}, fault coverage "
+        f"{result.tests.fault_coverage():.1%}",
+        f"AVE        {result.report.ave:.3f}",
+        "stages     " + ", ".join(
+            f"{info.stage}={info.source}" for info in result.stages
+        ),
+    ]
+    return summary, "\n".join(lines)
+
+
+def _render_order(flow: Flow, config: FlowConfig):
+    permutation = flow.permutation()
+    adi = flow.adi()
+    document = {
+        "schema": "repro.flow.order/v1",
+        "order": config.order.name,
+        "num_faults": len(permutation),
+        "permutation": permutation,
+    }
+    text = (f"order {config.order.name} over {len(permutation)} faults "
+            f"(ADI {adi.adi_min_max()[0]} .. {adi.adi_min_max()[1]}):\n"
+            + " ".join(str(i) for i in permutation))
+    return document, text
+
+
+def _render_testgen(flow: Flow, config: FlowConfig):
+    result = flow.tests()
+    document = {
+        "schema": "repro.flow.testgen/v1",
+        "order": config.order.name,
+        "num_tests": result.num_tests,
+        "fault_coverage": result.fault_coverage(),
+        "num_detected": result.num_detected,
+        "num_undetectable": result.num_undetectable,
+        "num_aborted": result.num_aborted,
+        "podem_calls": result.podem_calls,
+        "backtracks": result.backtracks,
+    }
+    text = (f"{result.num_tests} tests under order {config.order.name}: "
+            f"{result.num_detected} detected, "
+            f"{result.num_undetectable} undetectable, "
+            f"{result.num_aborted} aborted "
+            f"({result.fault_coverage():.1%} coverage)")
+    return document, text
+
+
+def _render_report(flow: Flow, config: FlowConfig):
+    report = flow.report()
+    document = {
+        "schema": "repro.flow.report/v1",
+        "order": config.order.name,
+        "num_tests": report.num_tests,
+        "num_detected": report.num_detected,
+        "total_faults": report.total_faults,
+        "ave": report.ave,
+        "curve": list(report.curve),
+    }
+    text = (f"coverage curve under order {config.order.name}: "
+            f"{report.num_detected}/{report.total_faults} faults over "
+            f"{report.num_tests} tests, AVE {report.ave:.3f}")
+    return document, text
+
+
+def _write_tests(flow: Flow, destination: str) -> None:
+    """Persist the generated test set via the pattern I/O module."""
+    from repro.sim.pattern_io import write_pattern_pairs, write_patterns
+    from repro.sim.patterns import PatternPairSet
+
+    tests = flow.tests().tests
+    if isinstance(tests, PatternPairSet):
+        write_pattern_pairs(tests, Path(destination))
+    else:
+        write_patterns(tests, Path(destination))
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ArtifactCache(args.cache_dir or None)
+    if args.action == "prune":
+        removed = cache.prune(stage=args.stage)
+        document: Dict[str, Any] = {
+            "schema": "repro.flow.cache/v1",
+            "action": "prune",
+            "root": str(cache.root),
+            "removed": removed,
+        }
+        text = f"pruned {removed} artifact(s) under {cache.root}"
+    else:
+        stats = cache.stats()
+        document = {"schema": "repro.flow.cache/v1", "action": "stats",
+                    **stats}
+        lines = [f"cache root {stats['root']}: {stats['total_files']} "
+                 f"artifact(s), {stats['total_bytes']} bytes"]
+        for stage, entry in sorted(stats["stages"].items()):
+            lines.append(f"  {stage:10s} {entry['files']:6d} file(s) "
+                         f"{entry['bytes']:10d} bytes")
+        text = "\n".join(lines)
+    _emit(json.dumps(document, indent=1) if args.json else text, args)
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="The ADI flow pipeline: declarative configs, "
+                    "content-addressed caching, reproducible runs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the whole pipeline for one config")
+    _add_config_arguments(run)
+
+    order = sub.add_parser("order",
+                           help="compute a fault order's permutation")
+    _add_config_arguments(order)
+
+    testgen = sub.add_parser("testgen",
+                             help="run ordered test generation")
+    _add_config_arguments(testgen)
+    testgen.add_argument("--write-tests", metavar="FILE",
+                         help="write the generated test set as a pattern "
+                              "file (bitstring / pair-bitstring format)")
+
+    report = sub.add_parser("report",
+                            help="coverage-curve report of a test set")
+    _add_config_arguments(report)
+
+    cache = sub.add_parser("cache", help="inspect or prune the artifact cache")
+    cache.add_argument("action", nargs="?", default="stats",
+                       choices=("stats", "prune"),
+                       help="what to do (default: stats)")
+    cache.add_argument("--stage", metavar="NAME",
+                       help="restrict prune to one stage directory")
+    cache.add_argument("--cache-dir", metavar="DIR",
+                       help="artifact cache root")
+    cache.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of text")
+    cache.add_argument("--out", metavar="FILE",
+                       help="write the output document to FILE as well")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI driver; returns a process exit code (0 ok, 2 config error)."""
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "cache":
+            return _cmd_cache(args)
+        renderers = {
+            "run": _render_run,
+            "order": _render_order,
+            "testgen": _render_testgen,
+            "report": _render_report,
+        }
+        return _run_style_command(args, renderers[args.command])
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output piped into a consumer that closed early (e.g. `head`).
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

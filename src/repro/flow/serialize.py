@@ -1,0 +1,255 @@
+"""JSON codecs for flow stage artifacts.
+
+One pair of functions per artifact type, all JSON-pure (dicts, lists,
+strings, numbers) so the artifact cache can persist them as-is:
+
+* pattern blocks — single-vector sets and two-pattern pair sets, words
+  as hex strings (big-ints survive JSON losslessly that way);
+* fault lists — through the owning fault model's codec
+  (:mod:`repro.faults.registry`), so a cached artifact names its model;
+* ``U`` selections — the selected block plus the dropping-run summary,
+  with faults stored as *indices into the target list* (the fault list
+  is itself an upstream artifact; storing positions keeps files small
+  and makes tampering detectable);
+* ADI results — the detection masks only; ``ndet``/``D(f)``/indices are
+  recomputed on load via
+  :func:`repro.adi.index.adi_from_detection_words`, guaranteeing a
+  deserialized result can never disagree with its masks;
+* test-generation results and curve reports.
+
+Every decoder validates shape and raises
+:class:`repro.errors.ExperimentError` on mismatch — a cache file that
+deserializes into nonsense must fail loudly, not propagate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Union
+
+from repro.adi.index import AdiResult, adi_from_detection_words
+from repro.adi.metrics import CurveReport
+from repro.adi.sampling import USelection
+from repro.errors import ExperimentError
+from repro.faults.registry import FaultModel, fault_model
+from repro.faults.sets import FaultStatus
+from repro.fsim.dropping import DropSimResult
+from repro.sim.patterns import PatternPairSet, PatternSet
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ExperimentError(f"corrupt flow artifact: {message}")
+
+
+# -- pattern blocks -----------------------------------------------------------
+
+def pattern_block_to_json(block: Union[PatternSet, PatternPairSet]
+                          ) -> Dict[str, Any]:
+    """Encode a pattern block (single vectors or pairs) as JSON."""
+    if isinstance(block, PatternPairSet):
+        return {
+            "kind": "pairs",
+            "num_inputs": block.num_inputs,
+            "num_patterns": block.num_patterns,
+            "launch": [hex(w) for w in block.launch.words],
+            "capture": [hex(w) for w in block.capture.words],
+        }
+    return {
+        "kind": "single",
+        "num_inputs": block.num_inputs,
+        "num_patterns": block.num_patterns,
+        "words": [hex(w) for w in block.words],
+    }
+
+
+def pattern_block_from_json(data: Dict[str, Any]
+                            ) -> Union[PatternSet, PatternPairSet]:
+    """Decode :func:`pattern_block_to_json` output."""
+    kind = data.get("kind")
+    num_inputs = data.get("num_inputs")
+    num_patterns = data.get("num_patterns")
+    _require(isinstance(num_inputs, int) and isinstance(num_patterns, int),
+             "pattern block lacks integer dimensions")
+    if kind == "pairs":
+        launch = [int(w, 16) for w in data["launch"]]
+        capture = [int(w, 16) for w in data["capture"]]
+        return PatternPairSet(
+            PatternSet(num_inputs, num_patterns, tuple(launch)),
+            PatternSet(num_inputs, num_patterns, tuple(capture)),
+        )
+    _require(kind == "single", f"unknown pattern block kind {kind!r}")
+    words = [int(w, 16) for w in data["words"]]
+    return PatternSet(num_inputs, num_patterns, tuple(words))
+
+
+# -- fault lists --------------------------------------------------------------
+
+def faults_to_json(model: Union[str, FaultModel],
+                   faults: Sequence) -> Dict[str, Any]:
+    """Encode a fault list under its model's codec."""
+    model = fault_model(model)
+    return {
+        "model": model.name,
+        "faults": [model.fault_to_json(f) for f in faults],
+    }
+
+
+def faults_from_json(data: Dict[str, Any]) -> List:
+    """Decode :func:`faults_to_json` output (model name is embedded)."""
+    model = fault_model(data.get("model"))
+    entries = data.get("faults")
+    _require(isinstance(entries, list), "fault list payload is not a list")
+    return [model.fault_from_json(entry) for entry in entries]
+
+
+# -- U selection --------------------------------------------------------------
+
+def selection_to_json(selection: USelection,
+                      faults: Sequence) -> Dict[str, Any]:
+    """Encode a :class:`USelection` relative to its target fault list."""
+    index = {f: i for i, f in enumerate(faults)}
+    first = selection.dropped_sim.first_detection
+    _require(all(f in index for f in first),
+             "selection references faults outside the target list")
+    return {
+        "patterns": pattern_block_to_json(selection.patterns),
+        "candidates_drawn": selection.candidates_drawn,
+        "total_faults": selection.dropped_sim.total_faults,
+        "num_simulated": selection.dropped_sim.num_simulated,
+        "first_detection": sorted(
+            [index[f], vec] for f, vec in first.items()
+        ),
+    }
+
+
+def selection_from_json(data: Dict[str, Any],
+                        faults: Sequence) -> USelection:
+    """Decode :func:`selection_to_json` output against the same fault list."""
+    entries = data.get("first_detection")
+    _require(isinstance(entries, list), "selection lacks first_detection")
+    first = {}
+    for entry in entries:
+        _require(isinstance(entry, list) and len(entry) == 2,
+                 "malformed first_detection entry")
+        fault_idx, vec = entry
+        _require(0 <= fault_idx < len(faults),
+                 f"fault index {fault_idx} outside target list")
+        first[faults[fault_idx]] = int(vec)
+    dropped = DropSimResult(
+        total_faults=int(data["total_faults"]),
+        num_simulated=int(data["num_simulated"]),
+        first_detection=first,
+    )
+    detected = tuple(f for f in faults if f in first)
+    return USelection(
+        patterns=pattern_block_from_json(data["patterns"]),
+        detected_by_u=detected,
+        dropped_sim=dropped,
+        candidates_drawn=int(data["candidates_drawn"]),
+    )
+
+
+# -- ADI results --------------------------------------------------------------
+
+def adi_to_json(result: AdiResult) -> Dict[str, Any]:
+    """Encode an :class:`AdiResult` as its defining detection masks."""
+    return {
+        "num_vectors": result.num_vectors,
+        "mode": result.mode.value,
+        "detection_masks": [hex(m) for m in result.detection_masks],
+    }
+
+
+def adi_from_json(data: Dict[str, Any], faults: Sequence) -> AdiResult:
+    """Decode :func:`adi_to_json` output against the same fault list.
+
+    ``ndet``, ``D(f)`` and the indices are *recomputed* from the masks —
+    the cheap tail of :func:`repro.adi.index.compute_adi` — so a cached
+    result is bit-identical to a fresh one by construction.
+    """
+    from repro.adi.index import AdiMode
+
+    masks = data.get("detection_masks")
+    _require(isinstance(masks, list) and len(masks) == len(faults),
+             "ADI masks do not match the target fault list")
+    words = [int(m, 16) for m in masks]
+    return adi_from_detection_words(
+        faults, words, int(data["num_vectors"]), AdiMode(data["mode"])
+    )
+
+
+# -- test-generation results --------------------------------------------------
+
+def testgen_to_json(model: Union[str, FaultModel], result) -> Dict[str, Any]:
+    """Encode a (transition) test-generation result.
+
+    Works for both :class:`repro.atpg.engine.TestGenResult` and
+    :class:`repro.atpg.transition.TransitionTestGenResult`; the model
+    name embedded in the payload picks the right type on load.
+    """
+    model = fault_model(model)
+    payload = {
+        "model": model.name,
+        "circuit_name": result.circuit_name,
+        "tests": pattern_block_to_json(result.tests),
+        "status": [
+            [model.fault_to_json(f), status.value]
+            for f, status in result.status.items()
+        ],
+        "detected_per_test": list(result.detected_per_test),
+        "targeted_faults": [
+            model.fault_to_json(f) for f in result.targeted_faults
+        ],
+        "podem_calls": result.podem_calls,
+        "backtracks": result.backtracks,
+        "runtime_seconds": result.runtime_seconds,
+    }
+    if hasattr(result, "launch_fallbacks"):
+        payload["launch_fallbacks"] = result.launch_fallbacks
+    return payload
+
+
+def testgen_from_json(data: Dict[str, Any]):
+    """Decode :func:`testgen_to_json` output to the model's result type."""
+    model = fault_model(data.get("model"))
+    entries = data.get("status")
+    _require(isinstance(entries, list), "testgen payload lacks status list")
+    status = {
+        model.fault_from_json(fault_data): FaultStatus(value)
+        for fault_data, value in entries
+    }
+    common = dict(
+        circuit_name=data["circuit_name"],
+        tests=pattern_block_from_json(data["tests"]),
+        status=status,
+        detected_per_test=[int(v) for v in data["detected_per_test"]],
+        targeted_faults=[
+            model.fault_from_json(f) for f in data["targeted_faults"]
+        ],
+        podem_calls=int(data["podem_calls"]),
+        backtracks=int(data["backtracks"]),
+        runtime_seconds=float(data["runtime_seconds"]),
+    )
+    # The registered model owns its result type (and any extra fields),
+    # exactly as it owns the fault codec — no model-name switches here.
+    return model.testgen_result_from_json(common, data)
+
+
+# -- curve reports ------------------------------------------------------------
+
+def curve_to_json(report: CurveReport) -> Dict[str, Any]:
+    """Encode a :class:`CurveReport`."""
+    return {
+        "curve": list(report.curve),
+        "total_faults": report.total_faults,
+    }
+
+
+def curve_from_json(data: Dict[str, Any]) -> CurveReport:
+    """Decode :func:`curve_to_json` output."""
+    curve = data.get("curve")
+    _require(isinstance(curve, list), "curve payload is not a list")
+    return CurveReport(
+        curve=tuple(int(v) for v in curve),
+        total_faults=int(data["total_faults"]),
+    )

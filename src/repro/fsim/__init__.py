@@ -34,8 +34,11 @@ from repro.fsim.dropping import (
     DropSimResult,
     coverage_curve,
     drop_simulate,
-    query_detection_words,
 )
+
+# Canonical home since the fault-model registry took over container
+# dispatch; re-exported here because every fsim consumer needs it.
+from repro.faults.registry import query_detection_words
 from repro.fsim.ndetect import detection_counts, ndet_per_vector, redundancy_candidates
 from repro.fsim.npfsim import NumpyFaultSim
 from repro.fsim.parallel import (

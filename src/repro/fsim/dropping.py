@@ -16,35 +16,45 @@ This single routine powers three of the paper's needs:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.circuit.flatten import CompiledCircuit
 from repro.errors import SimulationError
 from repro.faults.model import Fault
+from repro.faults.registry import PatternBlock as _PatternBlock
+from repro.faults.registry import query_detection_words as _query_detection_words
 from repro.fsim.backend import FaultSimBackend, resolve_backend
-from repro.sim.patterns import PatternPairSet, PatternSet
 
-#: A simulatable block: single vectors, or two-pattern (launch, capture)
-#: pairs — the dropping loop is fault-model-polymorphic over both.
-PatternBlock = Union[PatternSet, PatternPairSet]
+#: Canonical homes of the names that moved to the fault-model registry.
+_MOVED_TO_REGISTRY = {
+    "PatternBlock": _PatternBlock,
+    "query_detection_words": _query_detection_words,
+}
 
 
-def query_detection_words(engine: FaultSimBackend, block: PatternBlock,
-                          faults: Sequence) -> List[int]:
-    """Load ``block`` into ``engine`` and query every fault's word.
+def __getattr__(name: str):
+    """Deprecated aliases for symbols that moved to the fault-model registry.
 
-    Dispatches on the block type: a :class:`PatternPairSet` routes to the
-    engine's two-pattern transition contract, anything else to the plain
-    stuck-at contract.  This one switch makes every consumer built on
-    blocks of patterns (dropping, ``U`` selection, coverage curves, ADI)
-    work for both fault models.
+    ``PatternBlock`` and ``query_detection_words`` now live in
+    :mod:`repro.faults.registry`, where the dispatch on pattern-container
+    types is owned by the registered :class:`~repro.faults.registry.FaultModel`
+    entries.  Importing them from here still works but emits a
+    :class:`DeprecationWarning`.
     """
-    if isinstance(block, PatternPairSet):
-        engine.load_pairs(block)
-        return engine.transition_detection_words(faults)
-    engine.load(block)
-    return engine.detection_words(faults)
+    if name in _MOVED_TO_REGISTRY:
+        warnings.warn(
+            f"repro.fsim.dropping.{name} moved to repro.faults.registry; "
+            "update the import (the alias will be removed in a future "
+            "release)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _MOVED_TO_REGISTRY[name]
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
 
 
 @dataclass
@@ -98,7 +108,7 @@ class DropSimResult:
 def drop_simulate(
     circ: CompiledCircuit,
     faults: Sequence[Fault],
-    patterns: PatternBlock,
+    patterns: _PatternBlock,
     chunk_size: int = 64,
     stop_fraction: Optional[float] = None,
     backend: Union[str, FaultSimBackend, None] = None,
@@ -136,7 +146,7 @@ def drop_simulate(
         width = chunk.num_patterns
         survivors: List[Fault] = []
         chunk_hits: List[Tuple[int, Fault]] = []
-        words = query_detection_words(engine, chunk, remaining)
+        words = _query_detection_words(engine, chunk, remaining)
         for fault, word in zip(remaining, words):
             if word:
                 first = (word & -word).bit_length() - 1
@@ -185,7 +195,7 @@ def drop_simulate(
 
 
 def coverage_curve(circ: CompiledCircuit, faults: Sequence[Fault],
-                   tests: PatternBlock, chunk_size: int = 64,
+                   tests: _PatternBlock, chunk_size: int = 64,
                    backend: Union[str, FaultSimBackend, None] = None
                    ) -> List[int]:
     """The paper's ``nord(i)`` sequence for a test set, full length.

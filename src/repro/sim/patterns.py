@@ -21,7 +21,7 @@ from typing import Iterable, Iterator, List, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.utils.bitvec import full_mask
-from repro.utils.rng import make_rng, random_word
+from repro.utils.rng import random_word, resolve_rng
 
 
 @dataclass(frozen=True)
@@ -94,11 +94,15 @@ class PatternSet:
         return PatternSet.from_vectors(vectors, num_inputs)
 
     @staticmethod
-    def random(num_inputs: int, num_patterns: int, seed: int = 0,
+    def random(num_inputs: int, num_patterns: int, seed: int | None = None,
                rng: random.Random | None = None) -> "PatternSet":
-        """Uniformly random patterns from an explicit seed or RNG."""
-        if rng is None:
-            rng = make_rng(seed, "patterns")
+        """Uniformly random patterns from an explicit seed *or* RNG.
+
+        Passing both ``seed`` and ``rng`` raises
+        :class:`repro.errors.ExperimentError` (see
+        :func:`repro.utils.rng.resolve_rng`); with neither, seed 0 applies.
+        """
+        rng = resolve_rng(seed, rng, "patterns")
         words = tuple(random_word(rng, num_patterns) for _ in range(num_inputs))
         return PatternSet(num_inputs, num_patterns, words)
 
@@ -229,16 +233,17 @@ class PatternPairSet:
         )
 
     @staticmethod
-    def random(num_inputs: int, num_pairs: int, seed: int = 0,
+    def random(num_inputs: int, num_pairs: int, seed: int | None = None,
                rng: random.Random | None = None) -> "PatternPairSet":
         """Independent uniformly random halves (enhanced-scan style pairs).
 
         With an enhanced scan cell both vectors of a pair are arbitrary,
         so the launch and capture halves are drawn independently from one
-        RNG stream (deterministic given ``seed``).
+        RNG stream (deterministic given ``seed``).  As with
+        :meth:`PatternSet.random`, ``seed`` and ``rng`` are mutually
+        exclusive (:func:`repro.utils.rng.resolve_rng`).
         """
-        if rng is None:
-            rng = make_rng(seed, "pattern-pairs")
+        rng = resolve_rng(seed, rng, "pattern-pairs")
         launch = PatternSet.random(num_inputs, num_pairs, rng=rng)
         capture = PatternSet.random(num_inputs, num_pairs, rng=rng)
         return PatternPairSet(launch, capture)

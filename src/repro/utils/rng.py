@@ -6,12 +6,20 @@ instance created here from an explicit integer seed.  Sub-streams are
 derived by hashing a parent seed with a string label so that independent
 components never share a stream, and adding a component cannot perturb the
 randomness seen by another.
+
+There is exactly one way to select randomness at an API boundary: either
+an integer ``seed=`` (owned by :class:`repro.flow.config.FlowConfig` in
+the declarative flow) or an explicit ``rng=`` stream, never both —
+:func:`resolve_rng` enforces that and is what every ``seed=``/``rng=``
+argument pair in the library funnels through.
 """
 
 from __future__ import annotations
 
 import hashlib
 import random
+
+from repro.errors import ExperimentError
 
 _MASK64 = (1 << 64) - 1
 
@@ -32,6 +40,31 @@ def make_rng(seed: int, label: str | None = None) -> random.Random:
     if label is not None:
         seed = derive_seed(seed, label)
     return random.Random(seed)
+
+
+def resolve_rng(seed: int | None = None,
+                rng: random.Random | None = None,
+                label: str | None = None,
+                default_seed: int = 0) -> random.Random:
+    """Turn a ``seed=``/``rng=`` argument pair into one ``random.Random``.
+
+    Exactly one of ``seed`` and ``rng`` may be specified; supplying both
+    raises :class:`repro.errors.ExperimentError`, because silently
+    preferring one over the other makes runs irreproducible in a way that
+    is very hard to notice.  With neither, ``default_seed`` applies (the
+    historical default of the call site).  ``label`` sub-streams a
+    seed-derived generator exactly like :func:`make_rng`; it is ignored
+    when an explicit ``rng`` is passed, which is already a dedicated
+    stream.
+    """
+    if seed is not None and rng is not None:
+        raise ExperimentError(
+            "conflicting randomness specifications: pass either seed= or "
+            "rng=, not both (the flow API owns the seed via FlowConfig.seed)"
+        )
+    if rng is not None:
+        return rng
+    return make_rng(seed if seed is not None else default_seed, label)
 
 
 def random_word(rng: random.Random, num_bits: int) -> int:

@@ -1,0 +1,189 @@
+"""The ``repro`` CLI: subcommands, overrides, outputs, error paths.
+
+Uses a small generated circuit so the tests stay hermetic and fast; the
+suite-circuit path is covered by ``test_flow_equivalence.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.flow.cli import build_config, main, make_parser
+
+GEN = ["--generate", "6,24,3", "--name", "clitest", "--seed", "13",
+       "--max-vectors", "256"]
+
+
+def _run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+class TestBuildConfig:
+    def _parse(self, *argv):
+        return make_parser().parse_args(list(argv))
+
+    def test_defaults(self):
+        config = build_config(self._parse("run"))
+        assert config.circuit.kind == "suite"
+        assert config.seed == 2005
+
+    def test_generator_override(self):
+        config = build_config(self._parse("run", *GEN))
+        assert config.circuit.kind == "generator"
+        assert config.circuit.num_inputs == 6
+        assert config.circuit.num_gates == 24
+        assert config.circuit.name == "clitest"
+        assert config.seed == 13
+        assert config.u.max_vectors == 256
+
+    def test_flag_overrides_config_file(self, tmp_path):
+        from repro.flow import FlowConfig
+
+        path = tmp_path / "c.json"
+        path.write_text(FlowConfig(seed=1).to_json())
+        config = build_config(
+            self._parse("run", "--config", str(path), "--seed", "42",
+                        "--order", "decr")
+        )
+        assert config.seed == 42
+        assert config.order.name == "decr"
+
+    def test_conflicting_sources_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="mutually exclusive"):
+            build_config(
+                self._parse("run", "--circuit", "irs208", "--generate",
+                            "4,8,2")
+            )
+
+    def test_malformed_generate(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="I,G,O"):
+            build_config(self._parse("run", "--generate", "4x8x2"))
+
+
+class TestSubcommands:
+    def test_run_text(self, capsys, tmp_path):
+        code, out, err = _run(
+            capsys, "run", *GEN, "--cache-dir", str(tmp_path)
+        )
+        assert code == 0
+        assert "tests" in out and "AVE" in out
+
+    def test_run_json_schema(self, capsys, tmp_path):
+        code, out, _ = _run(
+            capsys, "run", *GEN, "--cache-dir", str(tmp_path), "--json"
+        )
+        assert code == 0
+        document = json.loads(out)
+        assert document["schema"] == "repro.flow/v1"
+        for section in ("config", "circuit", "faults", "u", "adi", "order",
+                        "tests", "curve", "stages"):
+            assert section in document
+
+    def test_dump_config_round_trips(self, capsys, tmp_path):
+        from repro.flow import FlowConfig
+
+        code, out, _ = _run(capsys, "run", *GEN, "--dump-config")
+        assert code == 0
+        assert FlowConfig.from_json(out).circuit.name == "clitest"
+
+    def test_order_json(self, capsys, tmp_path):
+        code, out, _ = _run(
+            capsys, "order", *GEN, "--order", "decr",
+            "--cache-dir", str(tmp_path), "--json"
+        )
+        assert code == 0
+        document = json.loads(out)
+        assert document["order"] == "decr"
+        assert sorted(document["permutation"]) == list(
+            range(document["num_faults"])
+        )
+
+    def test_testgen_writes_pattern_file(self, capsys, tmp_path):
+        tests_file = tmp_path / "tests.txt"
+        code, out, _ = _run(
+            capsys, "testgen", *GEN, "--cache-dir", str(tmp_path / "c"),
+            "--write-tests", str(tests_file), "--json"
+        )
+        assert code == 0
+        document = json.loads(out)
+        from repro.sim.pattern_io import read_patterns
+
+        patterns = read_patterns(tests_file)
+        assert patterns.num_patterns == document["num_tests"]
+
+    def test_report_json(self, capsys, tmp_path):
+        code, out, _ = _run(
+            capsys, "report", *GEN, "--cache-dir", str(tmp_path), "--json"
+        )
+        assert code == 0
+        document = json.loads(out)
+        assert document["num_tests"] == len(document["curve"])
+        assert document["ave"] > 0
+
+    def test_out_writes_file(self, capsys, tmp_path):
+        out_file = tmp_path / "run.json"
+        code, out, _ = _run(
+            capsys, "run", *GEN, "--cache-dir", str(tmp_path / "c"),
+            "--json", "--out", str(out_file)
+        )
+        assert code == 0
+        assert json.loads(out_file.read_text()) == json.loads(out)
+
+    def test_cache_stats_and_prune(self, capsys, tmp_path):
+        _run(capsys, "run", *GEN, "--cache-dir", str(tmp_path))
+        code, out, _ = _run(
+            capsys, "cache", "stats", "--cache-dir", str(tmp_path), "--json"
+        )
+        assert code == 0
+        stats = json.loads(out)
+        assert stats["total_files"] > 0
+        code, out, _ = _run(
+            capsys, "cache", "prune", "--cache-dir", str(tmp_path), "--json"
+        )
+        assert code == 0
+        assert json.loads(out)["removed"] == stats["total_files"]
+        code, out, _ = _run(
+            capsys, "cache", "stats", "--cache-dir", str(tmp_path), "--json"
+        )
+        assert json.loads(out)["total_files"] == 0
+
+    def test_no_cache_leaves_no_artifacts(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FLOW_CACHE_DIR", str(tmp_path / "default"))
+        code, _, _ = _run(capsys, "run", *GEN, "--no-cache")
+        assert code == 0
+        assert not (tmp_path / "default").exists()
+
+
+class TestErrorPaths:
+    def test_unknown_suite_circuit(self, capsys, tmp_path):
+        code, _, err = _run(
+            capsys, "run", "--circuit", "irs9999",
+            "--cache-dir", str(tmp_path)
+        )
+        assert code == 2
+        assert "irs9999" in err
+
+    def test_invalid_order(self, capsys):
+        code, _, err = _run(capsys, "run", *GEN, "--order", "best")
+        assert code == 2
+        assert "best" in err
+
+    def test_invalid_config_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        code, _, err = _run(capsys, "run", "--config", str(bad))
+        assert code == 2
+        assert "JSON" in err
+
+    def test_unknown_config_key(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"u": {"max_vector": 10}}))
+        code, _, err = _run(capsys, "run", "--config", str(bad))
+        assert code == 2
+        assert "max_vector" in err

@@ -1,0 +1,81 @@
+"""Backward-compatibility shims: moved symbols stay importable and warn.
+
+``PatternBlock`` and ``query_detection_words`` moved from
+``repro.fsim.dropping`` to ``repro.faults.registry`` in the flow-API
+redesign; the old locations must keep working (so existing code and all
+pre-redesign tests run unmodified) while emitting a
+:class:`DeprecationWarning` that names the new home.
+"""
+
+import warnings
+
+import pytest
+
+from repro.faults import registry
+
+
+class TestDroppingShims:
+    def test_query_detection_words_alias_warns(self):
+        import repro.fsim.dropping as dropping
+
+        with pytest.warns(DeprecationWarning, match="repro.faults.registry"):
+            alias = dropping.query_detection_words
+        assert alias is registry.query_detection_words
+
+    def test_pattern_block_alias_warns(self):
+        import repro.fsim.dropping as dropping
+
+        with pytest.warns(DeprecationWarning, match="repro.faults.registry"):
+            alias = dropping.PatternBlock
+        assert alias == registry.PatternBlock
+
+    def test_from_import_still_works(self):
+        with pytest.warns(DeprecationWarning):
+            from repro.fsim.dropping import query_detection_words  # noqa: F401
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.fsim.dropping as dropping
+
+        with pytest.raises(AttributeError, match="no_such_symbol"):
+            dropping.no_such_symbol
+
+    def test_canonical_import_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.faults.registry import (  # noqa: F401
+                PatternBlock,
+                query_detection_words,
+            )
+            from repro.fsim import query_detection_words  # noqa: F401,F811
+
+
+class TestSeedUnification:
+    def test_conflicting_seed_and_rng_raise(self):
+        import random
+
+        from repro.errors import ExperimentError
+        from repro.sim.patterns import PatternPairSet, PatternSet
+
+        with pytest.raises(ExperimentError, match="seed= or\n?.*rng="):
+            PatternSet.random(4, 8, seed=1, rng=random.Random(1))
+        with pytest.raises(ExperimentError, match="not both"):
+            PatternPairSet.random(4, 8, seed=1, rng=random.Random(1))
+
+    def test_default_streams_unchanged(self):
+        """No seed argument still means the historical seed-0 stream."""
+        from repro.sim.patterns import PatternSet
+
+        assert PatternSet.random(4, 16) == PatternSet.random(4, 16, seed=0)
+
+    def test_resolve_rng_contract(self):
+        import random
+
+        from repro.errors import ExperimentError
+        from repro.utils.rng import make_rng, resolve_rng
+
+        explicit = random.Random(3)
+        assert resolve_rng(rng=explicit) is explicit
+        assert (resolve_rng(seed=5, label="x").random()
+                == make_rng(5, "x").random())
+        with pytest.raises(ExperimentError):
+            resolve_rng(seed=1, rng=explicit)
