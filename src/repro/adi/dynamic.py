@@ -5,27 +5,104 @@ when a fault ``f`` is placed into the order, it "does not need to be
 considered further", so ``ndet(u)`` is decremented for every ``u`` in
 ``D(f)``, and the ADI of the remaining faults is recomputed against the
 updated counts.  The next fault placed is always one with the currently
-highest ADI.
+highest ADI (ties broken by original position, mirroring the static
+orders).
 
-Complexity: a lazy max-heap holds (negated) ADI values as of push time.
-Since ``ndet`` only decreases, a popped entry is an upper bound on the
-fault's true current ADI; the true value is recomputed (one vectorized
-``ndet[D(f)].min()``), and the entry is re-pushed when stale.  Ties are
-broken by original position, mirroring the static orders.
+Complexity.  Because one placement decrements every ``ndet(u)`` it
+touches by exactly 1, a fault's current ADI only ever *decreases*, and
+only by small steps — the top of any priority structure is a dense
+plateau of tied values, which makes per-candidate numpy recomputation
+(the classic lazy max-heap) the bottleneck.  The minimum-mode order
+therefore runs on a **bucket queue over the packed detection sets**:
+faults sit in buckets keyed by their last-known ADI upper bound, and a
+candidate at plateau value ``V`` is verified with one big-int AND
+against a *threshold mask* — the pattern set ``{u : ndet(u) < V}`` kept
+as a Python integer.  ``D(f)`` intersects that mask iff the fault's
+true ADI has dropped below ``V`` (then it descends one bucket);
+otherwise its ADI is exactly ``V`` and it is placed.  Each verification
+is one ``O(P/64)`` word AND instead of a numpy gather+reduce, and the
+mask is maintained incrementally from the patterns whose ``ndet``
+crosses the plateau threshold.  Average mode (no min structure to
+exploit) keeps the lazy max-heap.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.adi.index import AdiMode, AdiResult, compute_adi
 
 
-def _dynamic_core(result: AdiResult, active: List[int]) -> List[int]:
-    """Order ``active`` fault positions by dynamically-updated ADI."""
+def _threshold_mask(ndet: np.ndarray, bound: int) -> int:
+    """``{u : ndet(u) <= bound}`` as a big-int pattern mask."""
+    return int.from_bytes(
+        np.packbits(ndet <= bound, bitorder="little").tobytes(), "little"
+    )
+
+
+def _minimum_placements(result: AdiResult, active: List[int],
+                        limit: int) -> List[Tuple[int, int]]:
+    """Bucket-queue dynamic order for ``AdiMode.MINIMUM`` (see module doc)."""
+    ndet = result.ndet.astype(np.int64).copy()
+    num_patterns = result.num_vectors
+    det_vectors = result.det_vectors
+    masks = result.detection_masks
+    adi = result.adi
+
+    buckets = {}
+    for i in active:
+        buckets.setdefault(int(adi[i]), []).append(i)
+    for bucket in buckets.values():
+        heapq.heapify(bucket)
+    placements: List[Tuple[int, int]] = []
+    if not buckets:
+        return placements
+    remaining = len(active)
+    value = max(buckets)
+    below = _threshold_mask(ndet, value - 1)
+
+    while remaining and len(placements) < limit:
+        bucket = buckets.get(value)
+        if not bucket:
+            value -= 1
+            below = _threshold_mask(ndet, value - 1)
+            continue
+        i = heapq.heappop(bucket)
+        if masks[i] & below:
+            # Some detecting pattern fell under the plateau: the true
+            # ADI is < value.  Descend one bucket; the exact value is
+            # discovered when (if) the fault reaches the top again.
+            heapq.heappush(buckets.setdefault(value - 1, []), i)
+            continue
+        # No detecting pattern is below the plateau and ``value`` is an
+        # upper bound, so the ADI is exactly ``value`` — and ``i`` is
+        # the smallest active position at it: place.
+        placements.append((i, value))
+        remaining -= 1
+        seg = det_vectors[i]
+        if seg.size:
+            ndet[seg] -= 1
+            crossed = seg[ndet[seg] == value - 1]
+            if crossed.size:
+                buf = np.zeros(num_patterns, dtype=np.uint8)
+                buf[crossed] = 1
+                below |= int.from_bytes(
+                    np.packbits(buf, bitorder="little").tobytes(), "little"
+                )
+    return placements
+
+
+def _average_placements(result: AdiResult, active: List[int],
+                        limit: int) -> List[Tuple[int, int]]:
+    """Lazy max-heap dynamic order for ``AdiMode.AVERAGE``.
+
+    A popped entry is an upper bound (``ndet`` only decreases), so a
+    stale entry is re-pushed with its true current value; an entry that
+    pops at its true value is the argmax and is placed.
+    """
     ndet = result.ndet.astype(np.int64).copy()
     det_vectors = result.det_vectors
 
@@ -33,31 +110,45 @@ def _dynamic_core(result: AdiResult, active: List[int]) -> List[int]:
         vecs = det_vectors[i]
         if not vecs.size:
             return 0
-        values = ndet[vecs]
-        if result.mode == AdiMode.MINIMUM:
-            return int(values.min())
-        return int(values.mean())
+        return int(ndet[vecs].mean())
 
     heap = [(-current_adi(i), i) for i in active]
     heapq.heapify(heap)
-    placed: List[int] = []
-    done = set()
-
-    while heap:
+    placements: List[Tuple[int, int]] = []
+    while heap and len(placements) < limit:
         neg_value, i = heapq.heappop(heap)
-        if i in done:
-            continue
         fresh = current_adi(i)
         if -neg_value != fresh:
-            # Stale upper bound: re-queue with the true current value.
             heapq.heappush(heap, (-fresh, i))
             continue
-        placed.append(i)
-        done.add(i)
+        placements.append((i, fresh))
         vecs = det_vectors[i]
         if vecs.size:
             ndet[vecs] -= 1
-    return placed
+    return placements
+
+
+def _dynamic_placements(result: AdiResult, active: List[int],
+                        count: Optional[int] = None
+                        ) -> List[Tuple[int, int]]:
+    """Place ``active`` fault positions by dynamically-updated ADI.
+
+    Returns ``(position, adi_at_placement)`` pairs, at most ``count`` of
+    them (all when ``count`` is None).  The placement sequence is the
+    unique one the paper defines — at every step the remaining fault
+    with the highest current ADI, ties to the lowest position — so both
+    implementations yield identical output (cross-checked in the test
+    suite); they differ only in how the argmax is found.
+    """
+    limit = len(active) if count is None else max(0, min(count, len(active)))
+    if result.mode == AdiMode.MINIMUM:
+        return _minimum_placements(result, active, limit)
+    return _average_placements(result, active, limit)
+
+
+def _dynamic_core(result: AdiResult, active: List[int]) -> List[int]:
+    """Order ``active`` fault positions by dynamically-updated ADI."""
+    return [i for i, __ in _dynamic_placements(result, active)]
 
 
 def fdynm(result: AdiResult) -> List[int]:
@@ -109,23 +200,15 @@ def dynamic_prefix(result: AdiResult, count: int) -> List[tuple]:
     Mirrors the paper's Section 3 walk-through ("the highest accidental
     detection index is obtained for f22 with ADI = 15, ...").  Returns
     ``(position, adi_at_placement)`` pairs.
+
+    Shares :func:`_dynamic_placements` with :func:`fdynm` instead of
+    rescanning every remaining fault per placement, so the placements
+    are identical to ``fdynm(result)[:count]`` by construction
+    (regression-tested on the paper's ``lion`` walk-through).  This
+    includes honouring ``result.mode``: an ``AdiMode.AVERAGE`` result
+    yields mean-based placements, matching ``fdynm`` (the historical
+    rescan always used the minimum and could disagree with ``fdynm``
+    on average-mode results).
     """
-    ndet = result.ndet.astype(np.int64).copy()
-    det_vectors = result.det_vectors
-    nonzero = {i for i in range(len(result.faults)) if result.adi[i] != 0}
-    placements: List[tuple] = []
-    while nonzero and len(placements) < count:
-        best = None
-        best_value = -1
-        for i in sorted(nonzero):
-            vecs = det_vectors[i]
-            value = int(ndet[vecs].min()) if vecs.size else 0
-            if value > best_value:
-                best = i
-                best_value = value
-        placements.append((best, best_value))
-        nonzero.discard(best)
-        vecs = det_vectors[best]
-        if vecs.size:
-            ndet[vecs] -= 1
-    return placements
+    nonzero = [i for i in range(len(result.faults)) if result.adi[i] != 0]
+    return _dynamic_placements(result, nonzero, count=count)

@@ -21,16 +21,19 @@ detection argument is identical, only the detection-word query changes.
 (:class:`PatternSet` vs :class:`repro.sim.patterns.PatternPairSet`), and
 every order built on :class:`AdiResult` works for both models unchanged.
 
-Implementation notes: detection sets are computed by a fault-simulation
-backend (:mod:`repro.fsim.backend` — ``backend=`` picks the engine, the
-batched numpy engine by default on large problems) as big-int masks, kept
-alongside numpy index arrays so that ``ADI`` evaluation and the
-dynamic-ordering updates are vectorized.
+Implementation notes: detection sets come from a fault-simulation
+backend (:mod:`repro.fsim.backend` — ``backend=`` picks the engine) as
+one packed ``uint64`` :class:`~repro.utils.detmatrix.DetectionMatrix`,
+which stays the working representation throughout: ``ndet`` is a
+vectorized column popcount-sum, ``ADI`` a masked row reduction — no
+per-fault Python loops anywhere.  The big-int views
+(:attr:`AdiResult.detection_masks`, :func:`adi_from_detection_words`)
+are compatibility shims that convert at the boundary exactly once.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -38,11 +41,11 @@ import numpy as np
 
 from repro.circuit.flatten import CompiledCircuit
 from repro.errors import SimulationError
-from repro.faults.registry import PatternBlock, query_detection_words
+from repro.faults.registry import PatternBlock, query_detection_matrix
 from repro.fsim.backend import FaultSimBackend, resolve_backend
 from repro.fsim.parallel import detection_word
 from repro.sim.patterns import PatternPairSet, PatternSet
-from repro.utils.bitvec import bit_indices, bits_to_array
+from repro.utils.detmatrix import DetectionMatrix
 
 
 class AdiMode(Enum):
@@ -64,40 +67,72 @@ class AdiResult:
     All per-fault arrays are indexed by the *position* of the fault in
     the supplied target list (its original order).  ``faults`` holds
     whichever fault model was supplied (stuck-at or transition); nothing
-    downstream of the detection words depends on the model.
+    downstream of the detection matrix depends on the model.
+
+    ``matrix`` is the defining data — the packed detection sets.  The
+    big-int tuple view (:attr:`detection_masks`) and the per-fault
+    ``D(f)`` index arrays (:attr:`det_vectors`) are materialized lazily
+    and cached, so consumers that stay on the packed representation
+    never pay for them.
     """
 
     faults: Tuple[TargetFault, ...]
     num_vectors: int
-    detection_masks: Tuple[int, ...]
-    det_vectors: Tuple[np.ndarray, ...]
+    matrix: DetectionMatrix
     ndet: np.ndarray
     adi: np.ndarray
     mode: AdiMode
+    _masks: Optional[Tuple[int, ...]] = field(
+        default=None, init=False, repr=False, compare=False)
+    _vectors: Optional[Tuple[np.ndarray, ...]] = field(
+        default=None, init=False, repr=False, compare=False)
+    _positions: Optional[Dict[TargetFault, int]] = field(
+        default=None, init=False, repr=False, compare=False)
+
+    @property
+    def detection_masks(self) -> Tuple[int, ...]:
+        """Per-fault detection sets as big-int words (compat view).
+
+        Bit ``u`` of entry ``i`` set iff vector ``u`` detects fault
+        ``i`` — the row big-ints of :attr:`matrix`, converted once and
+        cached.
+        """
+        if self._masks is None:
+            self._masks = tuple(self.matrix.to_bigints())
+        return self._masks
+
+    @property
+    def det_vectors(self) -> Tuple[np.ndarray, ...]:
+        """``D(f)`` per fault as sorted numpy index arrays (cached)."""
+        if self._vectors is None:
+            self._vectors = tuple(self.matrix.row_index_lists())
+        return self._vectors
 
     @property
     def detected_indices(self) -> List[int]:
         """Positions of faults in ``FU`` (non-empty detection set)."""
-        return [i for i, mask in enumerate(self.detection_masks) if mask]
+        return np.flatnonzero(self.matrix.any_rows()).tolist()
 
     @property
     def undetected_indices(self) -> List[int]:
         """Positions of faults with ``ADI = 0`` (not detected by ``U``)."""
-        return [i for i, mask in enumerate(self.detection_masks) if not mask]
+        return np.flatnonzero(~self.matrix.any_rows()).tolist()
 
     def adi_of(self, fault: TargetFault) -> int:
-        """ADI value of a fault (by identity)."""
-        return int(self.adi[self.faults.index(fault)])
+        """ADI value of a fault (by identity; O(1) after the first call)."""
+        if self._positions is None:
+            self._positions = {f: i for i, f in enumerate(self.faults)}
+        return int(self.adi[self._positions[fault]])
 
     def adi_min_max(self) -> Tuple[int, int]:
         """(ADImin, ADImax) over detected faults only — Table 4 columns.
 
         Returns (0, 0) when ``U`` detects nothing.
         """
-        detected = [int(self.adi[i]) for i in self.detected_indices]
-        if not detected:
+        detected = self.adi[self.matrix.any_rows()]
+        if not detected.size:
             return (0, 0)
-        return (min(detected), max(detected))
+        return (int(detected.min()), int(detected.max()))
 
     def adi_ratio(self) -> float:
         """ADImax / ADImin — the paper's Table 4 spread indicator."""
@@ -126,7 +161,7 @@ def compute_adi(
     ``None`` for the registry default).  ``good_values`` — precomputed
     fault-free node words — forces the legacy big-int stuck-at path that
     can reuse them; leave it ``None`` to let the backend batch the
-    simulation.
+    simulation and keep the detection sets packed end to end.
     """
     if patterns.num_inputs != circ.num_inputs:
         raise SimulationError(
@@ -143,11 +178,61 @@ def compute_adi(
         words = [
             detection_word(circ, good_values, fault, n) for fault in faults
         ]
+        matrix = DetectionMatrix.from_bigints(words, n)
     else:
         engine = resolve_backend(circ, backend)
-        words = query_detection_words(engine, patterns, faults)
+        matrix = query_detection_matrix(engine, patterns, faults)
 
-    return adi_from_detection_words(faults, words, n, mode)
+    return adi_from_detection_matrix(faults, matrix, mode)
+
+
+def adi_from_detection_matrix(
+    faults: Sequence[TargetFault],
+    matrix: DetectionMatrix,
+    mode: AdiMode = AdiMode.MINIMUM,
+) -> AdiResult:
+    """Build an :class:`AdiResult` from a packed detection matrix.
+
+    The whole computation is vectorized over the packed words: ``ndet``
+    is the column popcount-sum of the matrix, ``ADI`` a masked min/mean
+    reduction over row-expanded ``ndet`` values (chunked so the dense
+    scratch stays bounded regardless of problem size).
+    """
+    if len(faults) != matrix.num_faults:
+        raise SimulationError(
+            f"{len(faults)} faults but detection matrix has "
+            f"{matrix.num_faults} rows"
+        )
+    n = matrix.num_patterns
+    ndet = matrix.column_counts()
+    adi = np.zeros(len(faults), dtype=np.int64)
+
+    if len(faults) and n:
+        for start, raw_bits in matrix.iter_dense_chunks():
+            bits = raw_bits.astype(bool)
+            detected = bits.any(axis=1)
+            if mode == AdiMode.MINIMUM:
+                masked = np.where(bits, ndet[None, :],
+                                  np.iinfo(np.int64).max)
+                values = masked.min(axis=1)
+            else:
+                sums = bits @ ndet
+                counts = bits.sum(axis=1)
+                safe = np.maximum(counts, 1)
+                # Matches int(values.mean()): float division of exact
+                # integer sums, truncated toward zero.
+                values = (sums.astype(np.float64)
+                          / safe).astype(np.int64)
+            adi[start:start + bits.shape[0]] = np.where(detected, values, 0)
+
+    return AdiResult(
+        faults=tuple(faults),
+        num_vectors=n,
+        matrix=matrix,
+        ndet=ndet,
+        adi=adi,
+        mode=mode,
+    )
 
 
 def adi_from_detection_words(
@@ -156,44 +241,15 @@ def adi_from_detection_words(
     num_vectors: int,
     mode: AdiMode = AdiMode.MINIMUM,
 ) -> AdiResult:
-    """Build an :class:`AdiResult` from precomputed detection words.
+    """Build an :class:`AdiResult` from big-int detection words.
 
-    The detection masks fully determine ``ndet``, ``D(f)`` and the
-    indices, so this is both the tail of :func:`compute_adi` and the
-    reconstruction path of the artifact cache (which persists only the
-    masks).
+    Compatibility shim over :func:`adi_from_detection_matrix`: packs the
+    words exactly once and hands off.  This remains the reconstruction
+    path of the artifact cache (which persists masks as hex strings),
+    so a deserialized result can never disagree with its masks.
     """
-    n = num_vectors
-    masks: List[int] = []
-    det_vectors: List[np.ndarray] = []
-    ndet = np.zeros(n, dtype=np.int64)
-    for mask in words:
-        masks.append(mask)
-        if mask:
-            ndet += bits_to_array(mask, n)
-            det_vectors.append(
-                np.asarray(bit_indices(mask), dtype=np.int64)
-            )
-        else:
-            det_vectors.append(np.empty(0, dtype=np.int64))
-
-    adi = np.zeros(len(faults), dtype=np.int64)
-    for i, vecs in enumerate(det_vectors):
-        if vecs.size:
-            values = ndet[vecs]
-            if mode == AdiMode.MINIMUM:
-                adi[i] = values.min()
-            else:
-                adi[i] = int(values.mean())
-
-    return AdiResult(
-        faults=tuple(faults),
-        num_vectors=n,
-        detection_masks=tuple(masks),
-        det_vectors=tuple(det_vectors),
-        ndet=ndet,
-        adi=adi,
-        mode=mode,
+    return adi_from_detection_matrix(
+        faults, DetectionMatrix.from_bigints(words, num_vectors), mode
     )
 
 

@@ -10,6 +10,12 @@ The optional ``prune_useless`` flag applies the paper's speed-up note:
 vectors that detect no new fault during the dropping simulation can be
 removed from ``U`` before the (more expensive) no-dropping simulation.
 
+The dropping run consumes packed
+:class:`~repro.utils.detmatrix.DetectionMatrix` chunks end to end (see
+:func:`repro.fsim.dropping.drop_simulate`), so selecting ``U`` from a
+10 000-vector pool is vectorized word arithmetic, not per-fault big-int
+scans.
+
 The procedure is fault-model-polymorphic: the candidate pool comes from
 the fault-model registry (:mod:`repro.faults.registry`) — pass
 ``model="transition"`` (or any registered model name) for that model's

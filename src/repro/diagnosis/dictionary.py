@@ -30,6 +30,7 @@ from repro.faults.model import Fault
 from repro.fsim.backend import FaultSimBackend, detection_words
 from repro.sim.patterns import PatternSet
 from repro.utils.bitvec import iter_bits
+from repro.utils.detmatrix import DetectionMatrix
 
 
 @dataclass(frozen=True)
@@ -40,9 +41,32 @@ class PassFailDictionary:
     faults: Tuple[Fault, ...]
     fail_masks: Tuple[int, ...]  # bit t set = test t fails under fault
 
+    @property
+    def fail_matrix(self) -> "DetectionMatrix":
+        """The fail masks as one packed uint64 matrix (built lazily).
+
+        Candidate ranking and first-fail statistics run vectorized over
+        this matrix instead of looping over the big-int masks.
+        """
+        matrix = getattr(self, "_fail_matrix", None)
+        if matrix is None:
+            matrix = DetectionMatrix.from_bigints(
+                self.fail_masks, self.num_tests
+            )
+            object.__setattr__(self, "_fail_matrix", matrix)
+        return matrix
+
+    def position(self, fault: Fault) -> int:
+        """Index of ``fault`` in the dictionary (O(1) after first call)."""
+        positions = getattr(self, "_positions", None)
+        if positions is None:
+            positions = {f: i for i, f in enumerate(self.faults)}
+            object.__setattr__(self, "_positions", positions)
+        return positions[fault]
+
     def failing_tests(self, fault: Fault) -> List[int]:
         """Indices of tests that fail when ``fault`` is present."""
-        return list(iter_bits(self.fail_masks[self.faults.index(fault)]))
+        return list(iter_bits(self.fail_masks[self.position(fault)]))
 
     def detected_faults(self) -> List[Fault]:
         """Faults the test set detects at all."""
@@ -65,7 +89,11 @@ class FaultDictionary:
 
     def signature(self, fault: Fault) -> Dict[int, FrozenSet[int]]:
         """The full signature of one fault."""
-        return self.signatures[self.faults.index(fault)]
+        positions = getattr(self, "_positions", None)
+        if positions is None:
+            positions = {f: i for i, f in enumerate(self.faults)}
+            object.__setattr__(self, "_positions", positions)
+        return self.signatures[positions[fault]]
 
 
 def build_pass_fail_dictionary(circ: CompiledCircuit,

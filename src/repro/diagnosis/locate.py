@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.circuit.flatten import CompiledCircuit
 from repro.diagnosis.dictionary import (
     FaultDictionary,
@@ -28,7 +30,8 @@ from repro.errors import SimulationError
 from repro.faults.model import Fault
 from repro.fsim.serial import output_response
 from repro.sim.patterns import PatternSet
-from repro.utils.bitvec import iter_bits, popcount
+from repro.utils.bitvec import popcount
+from repro.utils.detmatrix import DetectionMatrix, popcount64
 
 
 @dataclass(frozen=True)
@@ -68,16 +71,33 @@ def _match_score(predicted: int, observed: int, num_tests: int) -> float:
 
 def diagnose(dictionary: PassFailDictionary, observed_mask: int,
              max_candidates: int = 10) -> DiagnosisReport:
-    """Rank dictionary faults against an observed failing-test mask."""
+    """Rank dictionary faults against an observed failing-test mask.
+
+    The intersection/union/missed popcounts of every candidate are
+    computed in one pass over the dictionary's packed fail matrix (the
+    per-fault big-int loop became three vectorized word operations);
+    the scores are identical to :func:`_match_score` per candidate.
+    """
     if observed_mask < 0 or observed_mask >> dictionary.num_tests:
         raise SimulationError("observed mask has bits outside the test set")
-    scored: List[Tuple[Fault, float]] = []
-    for fault, mask in zip(dictionary.faults, dictionary.fail_masks):
-        if mask == 0:
-            continue
-        score = _match_score(mask, observed_mask, dictionary.num_tests)
-        if score > 0.0:
-            scored.append((fault, score))
+    predicted = dictionary.fail_matrix.words
+    observed = DetectionMatrix.from_bigints(
+        [observed_mask], dictionary.num_tests
+    ).words[0]
+    intersection = popcount64(predicted & observed).sum(axis=1)
+    union = popcount64(predicted | observed).sum(axis=1)
+    missed = popcount64(observed & ~predicted).sum(axis=1)
+    exact = (predicted == observed).all(axis=1)
+    with np.errstate(invalid="ignore"):
+        scores = np.where(
+            union > 0, intersection / np.maximum(union, 1), 0.0
+        ) * np.power(0.5, missed)
+    scores = np.where(exact, 1.0, scores)
+    nonzero_rows = dictionary.fail_matrix.any_rows()
+    candidates = np.flatnonzero(nonzero_rows & (scores > 0.0))
+    scored: List[Tuple[Fault, float]] = [
+        (dictionary.faults[i], float(scores[i])) for i in candidates
+    ]
     scored.sort(key=lambda pair: (-pair[1], pair[0]))
     return DiagnosisReport(
         observed_mask=observed_mask,
@@ -112,12 +132,10 @@ def expected_tests_to_first_fail(dictionary: PassFailDictionary,
     detected fault, a steeper test set fails sooner on average.  Lower is
     better; compare across test-set orders.
     """
-    chosen = faults if faults is not None else dictionary.faults
-    firsts: List[int] = []
-    for fault in chosen:
-        mask = dictionary.fail_masks[dictionary.faults.index(fault)]
-        if mask:
-            firsts.append(next(iter_bits(mask)) + 1)
-    if not firsts:
+    first = dictionary.fail_matrix.first_set_bits()
+    if faults is not None:
+        first = first[[dictionary.position(f) for f in faults]]
+    firsts = first[first >= 0] + 1
+    if not firsts.size:
         raise SimulationError("no detected faults to average over")
-    return sum(firsts) / len(firsts)
+    return float(firsts.sum()) / int(firsts.size)

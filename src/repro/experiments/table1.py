@@ -17,7 +17,6 @@ from repro.adi import AdiResult, compute_adi, dynamic_prefix
 from repro.circuit.library import lion_like
 from repro.faults import collapse_faults
 from repro.sim.patterns import PatternSet
-from repro.utils.bitvec import bit_indices
 from repro.utils.tables import render_table
 
 
@@ -57,7 +56,7 @@ def run_table1(example_faults: int = 3, prefix_length: int = 4) -> Table1Result:
     adi_rows = [
         (
             faults[i].describe(circ),
-            bit_indices(adi.detection_masks[i]),
+            adi.det_vectors[i].tolist(),
             int(adi.adi[i]),
         )
         for i in picks[:example_faults]

@@ -30,7 +30,7 @@ here from :mod:`repro.fsim.dropping` (which keeps deprecated aliases).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.errors import FaultModelError
 from repro.faults.collapse import collapsed_fault_list
@@ -42,6 +42,7 @@ from repro.faults.transition import (
 )
 from repro.faults.universe import full_universe
 from repro.sim.patterns import PatternPairSet, PatternSet
+from repro.utils.detmatrix import DetectionMatrix
 
 #: A simulatable block of tests: single vectors, or two-pattern
 #: (launch, capture) pairs — every pipeline stage is polymorphic over
@@ -79,6 +80,13 @@ class FaultModel:
         Stage a block into a :class:`repro.fsim.backend.FaultSimBackend`
         and answer detection words for it — the stuck-at contract for
         single vectors, the two-pattern contract for pairs.
+    ``query_matrix(engine, faults)``
+        The packed counterpart of ``query``: a
+        :class:`repro.utils.detmatrix.DetectionMatrix` instead of
+        big-int words (bit-identical rows).  The built-in models route
+        to the engine's native matrix query when it has one and pack
+        the big-int words once otherwise, so third-party engines keep
+        working unchanged.
     ``testgen(circ, ordered_faults, config)``
         The ordered fault-dropping test-generation loop
         (:func:`repro.atpg.engine.generate_tests` or
@@ -105,6 +113,9 @@ class FaultModel:
     fault_to_json: Callable
     fault_from_json: Callable
     testgen_result_from_json: Callable = default_testgen_result_from_json
+    #: Packed counterpart of ``query``; ``None`` falls back to packing
+    #: the big-int words of ``query`` once (third-party models).
+    query_matrix: Optional[Callable] = None
 
     def target_faults(self, circ, collapse: bool = True) -> list:
         """The model's target list ``F``: collapsed by default."""
@@ -186,7 +197,41 @@ def query_detection_words(engine, block: PatternBlock,
     return model.query(engine, faults)
 
 
+def query_detection_matrix(engine, block: PatternBlock,
+                           faults: Sequence) -> DetectionMatrix:
+    """Load ``block`` into ``engine`` and query the packed matrix.
+
+    The packed counterpart of :func:`query_detection_words`: same
+    registry dispatch on the block type, but the answer stays a
+    ``uint64`` :class:`~repro.utils.detmatrix.DetectionMatrix` end to
+    end — no per-fault big-int materialization.  Models without a
+    ``query_matrix`` entry (third-party registrations) fall back to
+    packing their big-int words once.
+    """
+    model = model_for_block(block)
+    model.load(engine, block)
+    if model.query_matrix is not None:
+        return model.query_matrix(engine, faults)
+    return DetectionMatrix.from_bigints(
+        model.query(engine, faults), block.num_patterns
+    )
+
+
 # -- built-in models ----------------------------------------------------------
+
+def _stuck_at_query_matrix(engine, faults) -> DetectionMatrix:
+    """Native packed query when the engine has one; pack once otherwise."""
+    from repro.fsim.backend import backend_detection_matrix
+
+    return backend_detection_matrix(engine, faults)
+
+
+def _transition_query_matrix(engine, faults) -> DetectionMatrix:
+    """Packed two-pattern query with the same pack-once fallback."""
+    from repro.fsim.backend import backend_transition_detection_matrix
+
+    return backend_transition_detection_matrix(engine, faults)
+
 
 def _stuck_at_testgen(circ, ordered_faults, config=None):
     """Lazy forwarder to :func:`repro.atpg.engine.generate_tests`."""
@@ -233,6 +278,7 @@ STUCK_AT = FaultModel(
     ),
     load=lambda engine, block: engine.load(block),
     query=lambda engine, faults: engine.detection_words(faults),
+    query_matrix=_stuck_at_query_matrix,
     testgen=_stuck_at_testgen,
     fault_to_json=lambda f: [f.node, f.pin, f.value],
     fault_from_json=_stuck_at_from_json,
@@ -249,6 +295,7 @@ TRANSITION = FaultModel(
     ),
     load=lambda engine, block: engine.load_pairs(block),
     query=lambda engine, faults: engine.transition_detection_words(faults),
+    query_matrix=_transition_query_matrix,
     testgen=_transition_testgen,
     fault_to_json=lambda f: [f.node, f.pin, f.rise],
     fault_from_json=_transition_from_json,

@@ -11,10 +11,13 @@ strings, numbers) so the artifact cache can persist them as-is:
   with faults stored as *indices into the target list* (the fault list
   is itself an upstream artifact; storing positions keeps files small
   and makes tampering detectable);
-* ADI results — the detection masks only; ``ndet``/``D(f)``/indices are
-  recomputed on load via
-  :func:`repro.adi.index.adi_from_detection_words`, guaranteeing a
-  deserialized result can never disagree with its masks;
+* ADI results — the detection masks only (hex big-ints: the JSON view
+  of the packed detection matrix, stable across representations);
+  ``ndet``/``D(f)``/indices are recomputed on load via
+  :func:`repro.adi.index.adi_from_detection_words`, which packs the
+  masks back into a :class:`~repro.utils.detmatrix.DetectionMatrix`
+  once — guaranteeing a deserialized result can never disagree with
+  its masks;
 * test-generation results and curve reports.
 
 Every decoder validates shape and raises

@@ -54,6 +54,7 @@ from repro.circuit.flatten import CompiledCircuit
 from repro.errors import SimulationError
 from repro.faults.model import Fault
 from repro.sim.patterns import PatternPairSet, PatternSet
+from repro.utils.detmatrix import DetectionMatrix
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.faults.transition import TransitionFault
@@ -107,6 +108,15 @@ class FaultSimBackend(Protocol):
     def detection_words(self, faults: Sequence[Fault]) -> List[int]:
         """Detection word per fault, in input order."""
 
+    def detection_matrix(self, faults: Sequence[Fault]) -> DetectionMatrix:
+        """Packed ``uint64`` detection matrix, one row per fault.
+
+        Row ``f`` is ``detection_words([faults[f]])[0]`` packed; the two
+        views are bit-identical by contract.  Engines with a packed
+        internal representation return it without a big-int round-trip;
+        big-int engines pack once (see :class:`PackedQueryAdapter`).
+        """
+
     def load_pairs(self, pairs: PatternPairSet) -> None:
         """Stage a two-pattern block for transition-fault queries."""
 
@@ -116,6 +126,52 @@ class FaultSimBackend(Protocol):
     def transition_detection_words(self, faults: Sequence["TransitionFault"]
                                    ) -> List[int]:
         """Transition detection word per fault, in input order."""
+
+    def transition_detection_matrix(self, faults: Sequence["TransitionFault"]
+                                    ) -> DetectionMatrix:
+        """Packed transition detection matrix, one row per fault."""
+
+
+class PackedQueryAdapter:
+    """Default packed-matrix queries over the big-int word contract.
+
+    Mixing this into a backend whose native representation is big-int
+    words satisfies the ``detection_matrix`` half of the protocol by
+    packing the words exactly once; third-party backends without even
+    the mixin are handled by :func:`backend_detection_matrix`, which
+    falls back to the same single packing step.
+    """
+
+    def detection_matrix(self, faults: Sequence[Fault]) -> DetectionMatrix:
+        """Pack ``detection_words`` once into a :class:`DetectionMatrix`."""
+        return DetectionMatrix.from_bigints(
+            self.detection_words(faults), self.num_patterns
+        )
+
+
+def backend_detection_matrix(engine, faults: Sequence[Fault]
+                             ) -> DetectionMatrix:
+    """``engine.detection_matrix`` with a pack-once fallback.
+
+    Engines predating the packed contract (third-party registrations)
+    keep working: their big-int words are packed exactly once here.
+    """
+    native = getattr(engine, "detection_matrix", None)
+    if native is not None:
+        return native(faults)
+    return DetectionMatrix.from_bigints(
+        engine.detection_words(faults), engine.num_patterns
+    )
+
+
+def backend_transition_detection_matrix(engine, faults) -> DetectionMatrix:
+    """``engine.transition_detection_matrix`` with a pack-once fallback."""
+    native = getattr(engine, "transition_detection_matrix", None)
+    if native is not None:
+        return native(faults)
+    return DetectionMatrix.from_bigints(
+        engine.transition_detection_words(faults), engine.num_patterns
+    )
 
 
 BackendFactory = Callable[[CompiledCircuit], FaultSimBackend]
@@ -199,6 +255,16 @@ def detection_words(circ: CompiledCircuit, faults: Sequence[Fault],
     return engine.detection_words(faults)
 
 
+def detection_matrix(circ: CompiledCircuit, faults: Sequence[Fault],
+                     patterns: PatternSet,
+                     backend: Union[str, FaultSimBackend, None] = None
+                     ) -> DetectionMatrix:
+    """One-shot convenience: load ``patterns``, query the packed matrix."""
+    engine = resolve_backend(circ, backend)
+    engine.load(patterns)
+    return backend_detection_matrix(engine, faults)
+
+
 def transition_detection_words(circ: CompiledCircuit,
                                faults: Sequence["TransitionFault"],
                                pairs: PatternPairSet,
@@ -208,6 +274,17 @@ def transition_detection_words(circ: CompiledCircuit,
     engine = resolve_backend(circ, backend)
     engine.load_pairs(pairs)
     return engine.transition_detection_words(faults)
+
+
+def transition_detection_matrix(circ: CompiledCircuit,
+                                faults: Sequence["TransitionFault"],
+                                pairs: PatternPairSet,
+                                backend: Union[str, FaultSimBackend, None] = None
+                                ) -> DetectionMatrix:
+    """One-shot convenience: load ``pairs``, query the packed matrix."""
+    engine = resolve_backend(circ, backend)
+    engine.load_pairs(pairs)
+    return backend_transition_detection_matrix(engine, faults)
 
 
 class AutoFaultSim:
@@ -287,6 +364,11 @@ class AutoFaultSim:
         """Batch query, dispatched by :meth:`_pick`."""
         return self._engine(self._pick(len(faults))).detection_words(faults)
 
+    def detection_matrix(self, faults: Sequence[Fault]) -> DetectionMatrix:
+        """Packed batch query, dispatched by :meth:`_pick`."""
+        engine = self._engine(self._pick(len(faults)))
+        return backend_detection_matrix(engine, faults)
+
     def transition_detection_word(self, fault: "TransitionFault") -> int:
         """Single transition-fault query — the event-driven bigint engine."""
         return self._engine("bigint").transition_detection_word(fault)
@@ -296,6 +378,12 @@ class AutoFaultSim:
         """Batch transition query, dispatched by :meth:`_pick`."""
         engine = self._engine(self._pick(len(faults)))
         return engine.transition_detection_words(faults)
+
+    def transition_detection_matrix(self, faults: Sequence["TransitionFault"]
+                                    ) -> DetectionMatrix:
+        """Packed batch transition query, dispatched by :meth:`_pick`."""
+        engine = self._engine(self._pick(len(faults)))
+        return backend_transition_detection_matrix(engine, faults)
 
     @property
     def good_values(self) -> List[int]:

@@ -4,7 +4,11 @@ Vectors are conceptually applied one at a time; a fault is dropped at its
 *first* detecting vector.  Because first-detection is the same with or
 without dropping, the simulator processes patterns in parallel blocks for
 speed and then resolves order inside each block — the results are
-bit-identical to a one-vector-at-a-time loop (property-tested).
+bit-identical to a one-vector-at-a-time loop (property-tested).  Each
+block is queried as a packed :class:`~repro.utils.detmatrix.
+DetectionMatrix`, so first-detection indices and survivors come from
+vectorized lowest-set-bit / row-any reductions over ``uint64`` words
+rather than per-fault big-int scans.
 
 This single routine powers three of the paper's needs:
 
@@ -20,10 +24,15 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.circuit.flatten import CompiledCircuit
 from repro.errors import SimulationError
 from repro.faults.model import Fault
 from repro.faults.registry import PatternBlock as _PatternBlock
+from repro.faults.registry import (
+    query_detection_matrix as _query_detection_matrix,
+)
 from repro.faults.registry import query_detection_words as _query_detection_words
 from repro.fsim.backend import FaultSimBackend, resolve_backend
 
@@ -144,15 +153,18 @@ def drop_simulate(
     base = 0
     for chunk in patterns.chunks(chunk_size):
         width = chunk.num_patterns
-        survivors: List[Fault] = []
-        chunk_hits: List[Tuple[int, Fault]] = []
-        words = _query_detection_words(engine, chunk, remaining)
-        for fault, word in zip(remaining, words):
-            if word:
-                first = (word & -word).bit_length() - 1
-                chunk_hits.append((first, fault))
-            else:
-                survivors.append(fault)
+        # Per-chunk first detection, vectorized: one packed matrix query,
+        # one lowest-set-bit reduction over its uint64 words, survivors
+        # via row-any — no per-fault big-int scans.
+        matrix = _query_detection_matrix(engine, chunk, remaining)
+        first = matrix.first_set_bits()
+        chunk_hits: List[Tuple[int, Fault]] = [
+            (int(first[row]), remaining[row])
+            for row in np.flatnonzero(first >= 0)
+        ]
+        survivors: List[Fault] = [
+            remaining[row] for row in np.flatnonzero(first < 0)
+        ]
 
         if target is not None and detected_count + len(chunk_hits) >= target:
             # The threshold falls inside this chunk: replay detections in

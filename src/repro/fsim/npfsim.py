@@ -15,8 +15,11 @@ faults at once:
 * faults are injected between levels: a stem fault overwrites its node's
   row with the stuck word after the node's level is evaluated, a branch
   fault re-evaluates the consuming gate's row with the faulty pin forced;
-* detection words fall out as the OR over primary outputs of
-  ``faulty XOR fault-free``, masked to the block width.
+* detection sets fall out as the OR over primary outputs of
+  ``faulty XOR fault-free``, masked to the block width, and stay packed:
+  :meth:`NumpyFaultSim.detection_matrix` hands the ``uint64`` tensor to
+  consumers as a :class:`repro.utils.detmatrix.DetectionMatrix` with no
+  big-int round-trip (``detection_words`` is the compatibility view).
 
 Per gate the work is ``B × W`` machine words in C, so the Python-level
 cost per batch is proportional to the number of *gate groups*, not to
@@ -45,6 +48,7 @@ from repro.sim.npsim import (
     words_to_matrix,
 )
 from repro.sim.patterns import PatternSet
+from repro.utils.detmatrix import DetectionMatrix
 
 #: Soft cap on the value tensor, in bytes; batches are sized to fit.
 DEFAULT_BATCH_BYTES = 128 << 20
@@ -137,20 +141,28 @@ class NumpyFaultSim(TwoPatternSupport):
         """Single-fault query (a batch of one — prefer batched calls)."""
         return self.detection_words([fault])[0]
 
-    def detection_words(self, faults: Sequence[Fault]) -> List[int]:
-        """Detection word of every fault, in input order, batch-wise."""
+    def detection_matrix(self, faults: Sequence[Fault]) -> DetectionMatrix:
+        """Packed detection matrix of every fault — the native query.
+
+        Returns the engine's internal ``(num_faults, num_words)`` uint64
+        tensor directly; no big-int round-trip anywhere.
+        """
         good = self._require_loaded()
         for fault in faults:
             check_fault(self.circ, fault)
-        if not faults:
-            return []
-        if self._num_patterns == 0:
-            return [0] * len(faults)
-        out: List[int] = []
+        if not faults or self._num_patterns == 0:
+            return DetectionMatrix.zeros(len(faults), self._num_patterns)
         batch = self._batch_size()
-        for start in range(0, len(faults), batch):
-            out.extend(self._simulate_batch(good, faults[start:start + batch]))
-        return out
+        blocks = [
+            self._simulate_batch(good, faults[start:start + batch])
+            for start in range(0, len(faults), batch)
+        ]
+        rows = blocks[0] if len(blocks) == 1 else np.concatenate(blocks)
+        return DetectionMatrix(rows, self._num_patterns)
+
+    def detection_words(self, faults: Sequence[Fault]) -> List[int]:
+        """Detection word of every fault, in input order (big-int view)."""
+        return self.detection_matrix(faults).to_bigints()
 
     def detected_faults(self, faults: Sequence[Fault]) -> List[Fault]:
         """Subset of ``faults`` detected by at least one loaded pattern."""
@@ -170,7 +182,7 @@ class NumpyFaultSim(TwoPatternSupport):
         return int(min(fit, MAX_BATCH_FAULTS))
 
     def _simulate_batch(self, good: np.ndarray,
-                        faults: Sequence[Fault]) -> List[int]:
+                        faults: Sequence[Fault]) -> np.ndarray:
         circ = self.circ
         num_batch = len(faults)
         width = self._num_words
@@ -216,12 +228,7 @@ class NumpyFaultSim(TwoPatternSupport):
         diff = values[out_ids] ^ good[out_ids][:, None, :]
         detected = np.bitwise_or.reduce(diff, axis=0)  # (B, W)
         detected[:, -1] &= self._tail_mask
-        raw = detected.astype("<u8").tobytes()
-        stride = width * 8
-        return [
-            int.from_bytes(raw[row * stride:(row + 1) * stride], "little")
-            for row in range(num_batch)
-        ]
+        return detected
 
 
 def _eval_gate_rows(circ: CompiledCircuit, node: int,

@@ -23,7 +23,7 @@ from typing import Dict, List, Sequence
 from repro.circuit.flatten import CompiledCircuit
 from repro.errors import SimulationError
 from repro.faults.model import Fault, check_fault
-from repro.fsim.backend import BackendCapabilities
+from repro.fsim.backend import BackendCapabilities, PackedQueryAdapter
 from repro.fsim.transition import TwoPatternSupport
 from repro.sim.bitsim import eval_gate_words, simulate
 from repro.sim.patterns import PatternSet
@@ -108,7 +108,7 @@ def detects(circ: CompiledCircuit, vector: Sequence[int], fault: Fault) -> bool:
     return bool(detection_word(circ, good, fault, 1))
 
 
-class ParallelFaultSimulator(TwoPatternSupport):
+class ParallelFaultSimulator(PackedQueryAdapter, TwoPatternSupport):
     """Binds a circuit and reuses fault-free values across fault queries.
 
     Typical use: simulate a pattern block once with :meth:`load`, then ask
@@ -118,7 +118,9 @@ class ParallelFaultSimulator(TwoPatternSupport):
     small problems.  Two-pattern transition queries (``load_pairs`` /
     ``transition_detection_words``) come from
     :class:`repro.fsim.transition.TwoPatternSupport` and reuse the same
-    per-fault propagation on the capture half.
+    per-fault propagation on the capture half.  Packed-matrix queries
+    pack the big-int words once
+    (:class:`repro.fsim.backend.PackedQueryAdapter`).
     """
 
     name = "bigint"

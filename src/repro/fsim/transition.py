@@ -35,6 +35,7 @@ from repro.errors import SimulationError
 from repro.faults.transition import TransitionFault, check_transition_fault
 from repro.sim.patterns import PatternPairSet
 from repro.utils.bitvec import full_mask
+from repro.utils.detmatrix import DetectionMatrix
 
 
 def launch_line_word(circ: CompiledCircuit, launch_good: Sequence[int],
@@ -116,6 +117,35 @@ class TwoPatternSupport:
             initialization_word(self.circ, launch_good, fault, mask) & word
             for fault, word in zip(faults, stuck_words)
         ]
+
+    def transition_detection_matrix(self, faults: Sequence[TransitionFault]
+                                    ) -> DetectionMatrix:
+        """Packed transition detection matrix (one row per fault).
+
+        The reduction stays packed: the capture-half stuck-at matrix
+        comes from the host's (possibly native) ``detection_matrix``,
+        the launch-half initialization words pack once, and the AND is
+        one vectorized word operation.
+        """
+        launch_good = self._launch_good
+        if launch_good is None:
+            raise SimulationError(
+                "no pattern-pair block loaded; call load_pairs() first"
+            )
+        from repro.fsim.backend import backend_detection_matrix
+
+        for fault in faults:
+            check_transition_fault(self.circ, fault)
+        stuck = backend_detection_matrix(
+            self, [fault.as_stuck_at() for fault in faults]
+        )
+        mask = full_mask(self.num_patterns)
+        init = DetectionMatrix.from_bigints(
+            (initialization_word(self.circ, launch_good, fault, mask)
+             for fault in faults),
+            self.num_patterns,
+        )
+        return stuck & init
 
     def detected_transition_faults(self, faults: Sequence[TransitionFault]
                                    ) -> List[TransitionFault]:

@@ -1,4 +1,5 @@
-"""Shared low-level utilities: bit vectors, RNG plumbing, report formatting."""
+"""Shared low-level utilities: bit vectors, packed detection matrices,
+RNG plumbing, report formatting."""
 
 from repro.utils.bitvec import (
     bit_indices,
@@ -8,15 +9,19 @@ from repro.utils.bitvec import (
     pack_bits,
     popcount,
 )
+from repro.utils.detmatrix import DetectionMatrix, num_words_for, tail_mask
 from repro.utils.rng import derive_seed, make_rng
 
 __all__ = [
+    "DetectionMatrix",
     "bit_indices",
     "bits_to_array",
     "derive_seed",
     "full_mask",
     "iter_bits",
     "make_rng",
+    "num_words_for",
     "pack_bits",
     "popcount",
+    "tail_mask",
 ]

@@ -141,6 +141,57 @@ class TestDynamicOrders:
         order = fdynm(adi)
         assert [i for i, _ in prefix] == order[:5]
 
+    def _reference_prefix(self, adi, count):
+        """The pre-heap O(count x F) rescan implementation, verbatim."""
+        ndet = adi.ndet.astype(np.int64).copy()
+        det_vectors = adi.det_vectors
+        nonzero = {i for i in range(len(adi.faults)) if adi.adi[i] != 0}
+        placements = []
+        while nonzero and len(placements) < count:
+            best, best_value = None, -1
+            for i in sorted(nonzero):
+                vecs = det_vectors[i]
+                value = int(ndet[vecs].min()) if vecs.size else 0
+                if value > best_value:
+                    best, best_value = i, value
+            placements.append((best, best_value))
+            nonzero.discard(best)
+            vecs = det_vectors[best]
+            if vecs.size:
+                ndet[vecs] -= 1
+        return placements
+
+    def test_dynamic_prefix_matches_linear_rescan_on_lion(self, lion_data):
+        """The lazy-heap prefix places exactly what the paper's Section 3
+        linear walk-through does, for every prefix length on ``lion``."""
+        __, faults, adi = lion_data
+        for count in (1, 3, 5, len(faults)):
+            assert dynamic_prefix(adi, count) == \
+                self._reference_prefix(adi, count)
+
+    def test_dynamic_prefix_matches_linear_rescan_with_zeros(
+            self, zero_adi_data):
+        __, __, adi = zero_adi_data
+        assert dynamic_prefix(adi, 10) == self._reference_prefix(adi, 10)
+
+    def test_dynamic_prefix_honours_average_mode(self, lion_data):
+        """An AVERAGE-mode result yields mean-based placements, matching
+        fdynm (the historical rescan always used the minimum)."""
+        from repro.adi import AdiMode
+
+        circ, faults, __ = lion_data
+        avg = compute_adi(circ, faults, PatternSet.exhaustive(4),
+                          mode=AdiMode.AVERAGE)
+        prefix = dynamic_prefix(avg, 5)
+        assert [i for i, __ in prefix] == fdynm(avg)[:5]
+
+    def test_dynamic_prefix_full_length_equals_fdynm(self, zero_adi_data):
+        __, __, adi = zero_adi_data
+        nonzero = sum(1 for i in range(len(adi.faults)) if adi.adi[i] != 0)
+        prefix = dynamic_prefix(adi, len(adi.faults) + 5)
+        assert len(prefix) == nonzero
+        assert [i for i, __ in prefix] == fdynm(adi)[:nonzero]
+
     def test_dynamic_differs_from_static_sometimes(self, zero_adi_data):
         """The dynamic update must actually change something relative to
         the static sort on a circuit with overlapping detection sets."""

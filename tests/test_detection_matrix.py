@@ -1,0 +1,180 @@
+"""Unit tests for the packed DetectionMatrix value type."""
+
+import numpy as np
+import pytest
+
+from repro.utils.bitvec import bit_indices, popcount
+from repro.utils.detmatrix import (
+    DetectionMatrix,
+    num_words_for,
+    popcount64,
+    tail_mask,
+)
+
+#: Word-boundary block widths exercised throughout.
+BOUNDARY_WIDTHS = (1, 63, 64, 65, 129)
+
+
+def reference_words(seed: int, num_faults: int, num_patterns: int):
+    """Deterministic big-int detection words with mixed densities."""
+    rng = np.random.default_rng(seed)
+    words = []
+    for i in range(num_faults):
+        if i % 5 == 0:
+            words.append(0)
+            continue
+        density = rng.random() * 0.9 + 0.05
+        bits = rng.random(num_patterns) < density
+        word = 0
+        for p in np.flatnonzero(bits):
+            word |= 1 << int(p)
+        words.append(word)
+    return words
+
+
+class TestHelpers:
+    def test_num_words_for(self):
+        assert num_words_for(0) == 1
+        assert num_words_for(1) == 1
+        assert num_words_for(64) == 1
+        assert num_words_for(65) == 2
+        assert num_words_for(129) == 3
+
+    def test_tail_mask(self):
+        assert tail_mask(64) == np.uint64(0xFFFFFFFFFFFFFFFF)
+        assert tail_mask(1) == np.uint64(1)
+        assert tail_mask(65) == np.uint64(1)
+        assert tail_mask(63) == np.uint64((1 << 63) - 1)
+
+    def test_popcount64_matches_bigint_popcount(self):
+        rng = np.random.default_rng(7)
+        arr = rng.integers(0, 2 ** 63, size=(4, 3), dtype=np.int64) \
+            .astype(np.uint64)
+        expected = [[popcount(int(v)) for v in row] for row in arr]
+        assert popcount64(arr).tolist() == expected
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("width", BOUNDARY_WIDTHS)
+    def test_bigint_round_trip(self, width):
+        words = reference_words(width, 17, width)
+        matrix = DetectionMatrix.from_bigints(words, width)
+        assert matrix.num_faults == 17
+        assert matrix.num_words == num_words_for(width)
+        assert matrix.to_bigints() == words
+        assert [matrix.row_int(r) for r in range(17)] == words
+
+    @pytest.mark.parametrize("width", BOUNDARY_WIDTHS)
+    def test_bytes_round_trip(self, width):
+        words = reference_words(width + 1, 9, width)
+        matrix = DetectionMatrix.from_bigints(words, width)
+        rebuilt = DetectionMatrix.from_bytes(matrix.to_bytes(), 9, width)
+        assert rebuilt == matrix
+
+    def test_from_bytes_wrong_size(self):
+        with pytest.raises(ValueError):
+            DetectionMatrix.from_bytes(b"\x00" * 7, 1, 8)
+
+    def test_empty_matrix(self):
+        matrix = DetectionMatrix.zeros(0, 10)
+        assert matrix.num_faults == 0
+        assert matrix.to_bigints() == []
+        assert matrix.first_set_bits().size == 0
+        assert matrix.row_index_lists() == []
+        assert matrix.column_counts().tolist() == [0] * 10
+
+    def test_zero_pattern_matrix(self):
+        matrix = DetectionMatrix.zeros(3, 0)
+        assert matrix.num_words == 1
+        assert matrix.to_bigints() == [0, 0, 0]
+
+    def test_validation_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            DetectionMatrix(np.zeros((2, 2), dtype=np.uint64), 64)
+        with pytest.raises(ValueError):
+            DetectionMatrix(np.zeros((2, 1), dtype=np.int64), 64)
+        with pytest.raises(ValueError):
+            DetectionMatrix(np.full((1, 1), 2, dtype=np.uint64), 1)
+
+    def test_from_rows_masks_tail(self):
+        rows = np.full((2, 1), 0xFFFFFFFFFFFFFFFF, dtype=np.uint64)
+        matrix = DetectionMatrix.from_rows(rows, 3)
+        assert matrix.to_bigints() == [0b111, 0b111]
+
+
+class TestQueries:
+    @pytest.mark.parametrize("width", BOUNDARY_WIDTHS)
+    def test_row_popcounts_and_any(self, width):
+        words = reference_words(width + 2, 23, width)
+        matrix = DetectionMatrix.from_bigints(words, width)
+        assert matrix.row_popcounts().tolist() == \
+            [popcount(w) for w in words]
+        assert matrix.any_rows().tolist() == [bool(w) for w in words]
+
+    @pytest.mark.parametrize("width", BOUNDARY_WIDTHS)
+    def test_column_counts(self, width):
+        words = reference_words(width + 3, 19, width)
+        matrix = DetectionMatrix.from_bigints(words, width)
+        expected = [
+            sum((w >> p) & 1 for w in words) for p in range(width)
+        ]
+        assert matrix.column_counts().tolist() == expected
+
+    @pytest.mark.parametrize("width", BOUNDARY_WIDTHS)
+    def test_first_set_bits(self, width):
+        words = reference_words(width + 4, 21, width)
+        matrix = DetectionMatrix.from_bigints(words, width)
+        expected = [
+            (w & -w).bit_length() - 1 if w else -1 for w in words
+        ]
+        assert matrix.first_set_bits().tolist() == expected
+
+    @pytest.mark.parametrize("width", BOUNDARY_WIDTHS)
+    def test_row_indices_and_lists(self, width):
+        words = reference_words(width + 5, 15, width)
+        matrix = DetectionMatrix.from_bigints(words, width)
+        per_row = matrix.row_index_lists()
+        assert len(per_row) == 15
+        for row, word in enumerate(words):
+            assert matrix.row_indices(row).tolist() == bit_indices(word)
+            assert per_row[row].tolist() == bit_indices(word)
+
+    def test_unpack_bits(self):
+        matrix = DetectionMatrix.from_bigints([0b1011, 0], 4)
+        assert matrix.unpack_bits().tolist() == [[1, 1, 0, 1], [0, 0, 0, 0]]
+
+
+class TestCombination:
+    def test_operators_match_bigint_ops(self):
+        width = 130
+        a_words = reference_words(1, 11, width)
+        b_words = reference_words(2, 11, width)
+        a = DetectionMatrix.from_bigints(a_words, width)
+        b = DetectionMatrix.from_bigints(b_words, width)
+        assert (a & b).to_bigints() == [x & y for x, y in zip(a_words, b_words)]
+        assert (a | b).to_bigints() == [x | y for x, y in zip(a_words, b_words)]
+        assert (a ^ b).to_bigints() == [x ^ y for x, y in zip(a_words, b_words)]
+
+    def test_operator_shape_mismatch(self):
+        a = DetectionMatrix.zeros(2, 10)
+        with pytest.raises(ValueError):
+            a & DetectionMatrix.zeros(3, 10)
+        with pytest.raises(ValueError):
+            a | DetectionMatrix.zeros(2, 11)
+
+    def test_select_rows(self):
+        words = reference_words(3, 6, 70)
+        matrix = DetectionMatrix.from_bigints(words, 70)
+        picked = matrix.select_rows([4, 1, 1])
+        assert picked.to_bigints() == [words[4], words[1], words[1]]
+
+    def test_equality(self):
+        words = reference_words(4, 5, 65)
+        a = DetectionMatrix.from_bigints(words, 65)
+        b = DetectionMatrix.from_bigints(words, 65)
+        assert a == b
+        assert not (a == DetectionMatrix.zeros(5, 65)) or all(
+            w == 0 for w in words
+        )
+        with pytest.raises(TypeError):
+            hash(a)

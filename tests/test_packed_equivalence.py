@@ -1,0 +1,222 @@
+"""Packed-vs-bigint equivalence at word boundaries.
+
+The packed ``DetectionMatrix`` fast path must be bit-identical to the
+big-int word representation everywhere they meet: raw detection
+matrices, ADI results, drop-simulate first-detection indices and
+coverage curves — for every registered fault-simulation backend, for
+both registered fault models, at block widths straddling the 64-bit
+word boundaries (P in {1, 63, 64, 65, 129}).
+"""
+
+import numpy as np
+import pytest
+
+from repro.adi.dynamic import f0dynm, fdynm
+from repro.adi.index import (
+    AdiMode,
+    adi_from_detection_matrix,
+    adi_from_detection_words,
+    compute_adi,
+)
+from repro.faults import collapsed_fault_list
+from repro.faults.registry import (
+    query_detection_matrix,
+    query_detection_words,
+)
+from repro.faults.transition import transition_fault_list
+from repro.fsim.backend import available_backends, create_backend
+from repro.fsim.dropping import coverage_curve, drop_simulate
+from repro.sim.patterns import PatternPairSet, PatternSet
+from repro.utils.detmatrix import DetectionMatrix
+
+from helpers import generated_circuit
+
+#: Block widths straddling uint64 word boundaries.
+BOUNDARY_WIDTHS = (1, 63, 64, 65, 129)
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return generated_circuit(11, num_inputs=9, num_gates=70, num_outputs=5,
+                             hardness=0.3)
+
+
+@pytest.fixture(scope="module")
+def stuck_faults(circuit):
+    return collapsed_fault_list(circuit)
+
+
+@pytest.fixture(scope="module")
+def transition_faults(circuit):
+    return transition_fault_list(circuit)
+
+
+def block_for(model_name, num_inputs, width):
+    if model_name == "transition":
+        return PatternPairSet.random(num_inputs, width, seed=width * 7 + 1)
+    return PatternSet.random(num_inputs, width, seed=width * 7 + 1)
+
+
+def faults_for(model_name, stuck_faults, transition_faults):
+    return transition_faults if model_name == "transition" else stuck_faults
+
+
+class TestMatrixVsWords:
+    @pytest.mark.parametrize("backend_name", sorted(available_backends()))
+    @pytest.mark.parametrize("model_name", ("stuck_at", "transition"))
+    @pytest.mark.parametrize("width", BOUNDARY_WIDTHS)
+    def test_matrix_rows_equal_words(self, circuit, stuck_faults,
+                                     transition_faults, backend_name,
+                                     model_name, width):
+        faults = faults_for(model_name, stuck_faults, transition_faults)
+        block = block_for(model_name, circuit.num_inputs, width)
+        words = query_detection_words(
+            create_backend(circuit, backend_name), block, faults
+        )
+        matrix = query_detection_matrix(
+            create_backend(circuit, backend_name), block, faults
+        )
+        assert matrix.num_patterns == width
+        assert matrix.num_faults == len(faults)
+        assert matrix.to_bigints() == words
+
+    @pytest.mark.parametrize("model_name", ("stuck_at", "transition"))
+    @pytest.mark.parametrize("width", BOUNDARY_WIDTHS)
+    def test_matrix_identical_across_backends(self, circuit, stuck_faults,
+                                              transition_faults, model_name,
+                                              width):
+        faults = faults_for(model_name, stuck_faults, transition_faults)
+        block = block_for(model_name, circuit.num_inputs, width)
+        matrices = {
+            name: query_detection_matrix(
+                create_backend(circuit, name), block, faults
+            )
+            for name in available_backends()
+        }
+        reference = matrices.pop(sorted(matrices)[0])
+        for name, matrix in matrices.items():
+            assert matrix == reference, name
+
+
+class TestAdiEquivalence:
+    @pytest.mark.parametrize("mode", (AdiMode.MINIMUM, AdiMode.AVERAGE))
+    @pytest.mark.parametrize("model_name", ("stuck_at", "transition"))
+    @pytest.mark.parametrize("width", BOUNDARY_WIDTHS)
+    def test_adi_matches_bigint_reconstruction(self, circuit, stuck_faults,
+                                               transition_faults, model_name,
+                                               width, mode):
+        faults = faults_for(model_name, stuck_faults, transition_faults)
+        block = block_for(model_name, circuit.num_inputs, width)
+        packed = compute_adi(circuit, faults, block, mode=mode)
+        words = query_detection_words(
+            create_backend(circuit, "bigint"), block, faults
+        )
+        via_words = adi_from_detection_words(faults, words, width, mode)
+        assert packed.detection_masks == tuple(words)
+        assert np.array_equal(packed.ndet, via_words.ndet)
+        assert np.array_equal(packed.adi, via_words.adi)
+        assert packed.detected_indices == via_words.detected_indices
+        assert packed.undetected_indices == via_words.undetected_indices
+        assert fdynm(packed) == fdynm(via_words)
+        assert f0dynm(packed) == f0dynm(via_words)
+
+    @pytest.mark.parametrize("width", BOUNDARY_WIDTHS)
+    def test_adi_reference_per_fault(self, circuit, stuck_faults, width):
+        """ADI against the definition, computed per fault from big-ints."""
+        block = block_for("stuck_at", circuit.num_inputs, width)
+        result = compute_adi(circuit, stuck_faults, block)
+        words = result.detection_masks
+        ndet = [
+            sum((w >> u) & 1 for w in words) for u in range(width)
+        ]
+        assert result.ndet.tolist() == ndet
+        for i, word in enumerate(words):
+            detecting = [u for u in range(width) if (word >> u) & 1]
+            expected = min((ndet[u] for u in detecting), default=0)
+            assert int(result.adi[i]) == expected, i
+
+
+class TestDroppingEquivalence:
+    @pytest.mark.parametrize("backend_name", sorted(available_backends()))
+    @pytest.mark.parametrize("model_name", ("stuck_at", "transition"))
+    @pytest.mark.parametrize("width", BOUNDARY_WIDTHS)
+    def test_first_detection_matches_bigint_scan(self, circuit, stuck_faults,
+                                                 transition_faults,
+                                                 backend_name, model_name,
+                                                 width):
+        faults = faults_for(model_name, stuck_faults, transition_faults)
+        block = block_for(model_name, circuit.num_inputs, width)
+        result = drop_simulate(circuit, faults, block, chunk_size=32,
+                               backend=backend_name)
+        words = query_detection_words(
+            create_backend(circuit, backend_name), block, faults
+        )
+        expected = {
+            fault: (word & -word).bit_length() - 1
+            for fault, word in zip(faults, words) if word
+        }
+        assert result.first_detection == expected
+
+    @pytest.mark.parametrize("model_name", ("stuck_at", "transition"))
+    @pytest.mark.parametrize("width", BOUNDARY_WIDTHS)
+    def test_coverage_curve_matches_bigint_scan(self, circuit, stuck_faults,
+                                                transition_faults,
+                                                model_name, width):
+        faults = faults_for(model_name, stuck_faults, transition_faults)
+        block = block_for(model_name, circuit.num_inputs, width)
+        curve = coverage_curve(circuit, faults, block, chunk_size=16)
+        words = query_detection_words(
+            create_backend(circuit, "bigint"), block, faults
+        )
+        firsts = [
+            (w & -w).bit_length() - 1 for w in words if w
+        ]
+        expected = [
+            sum(1 for f in firsts if f <= p) for p in range(width)
+        ]
+        assert curve == expected
+
+    @pytest.mark.parametrize("width", BOUNDARY_WIDTHS)
+    def test_stop_fraction_unchanged_by_packing(self, circuit, stuck_faults,
+                                                width):
+        block = block_for("stuck_at", circuit.num_inputs, width)
+        stopped = drop_simulate(circuit, stuck_faults, block, chunk_size=8,
+                                stop_fraction=0.5)
+        full = drop_simulate(circuit, stuck_faults, block, chunk_size=8)
+        # The truncated run must agree with the full run on every fault
+        # it keeps, and stop exactly at the crossing vector.
+        for fault, vec in stopped.first_detection.items():
+            assert full.first_detection[fault] == vec
+        if stopped.num_detected:
+            crossing = max(stopped.first_detection.values())
+            assert stopped.num_simulated == crossing + 1
+
+
+class TestThirdPartyBackendFallback:
+    def test_query_matrix_packs_words_without_native_support(self, circuit,
+                                                             stuck_faults):
+        """Engines without detection_matrix still serve packed queries."""
+
+        class WordsOnly:
+            name = "words-only"
+            circ = circuit
+
+            def __init__(self):
+                self._engine = create_backend(circuit, "bigint")
+
+            def load(self, patterns):
+                self._engine.load(patterns)
+
+            @property
+            def num_patterns(self):
+                return self._engine.num_patterns
+
+            def detection_words(self, faults):
+                return self._engine.detection_words(faults)
+
+        block = block_for("stuck_at", circuit.num_inputs, 65)
+        matrix = query_detection_matrix(WordsOnly(), block, stuck_faults)
+        reference = query_detection_matrix(
+            create_backend(circuit, "bigint"), block, stuck_faults
+        )
+        assert matrix == reference
