@@ -1,0 +1,172 @@
+"""A/B harness for the sharded multi-core ``parallel`` backend.
+
+Measures packed detection-matrix fault simulation on a 10k+-gate
+generated circuit — exactly the regime where the single-core numpy
+engine saturates — comparing:
+
+* **serial** — one ``numpy`` engine on one core;
+* **parallel** — :class:`repro.fsim.sharded.ShardedFaultSim` wrapping
+  the same ``numpy`` engine, one shard per usable core.
+
+Both sides are verified bit-identical before any timing counts.  The
+acceptance gate requires the sharded backend to be at least ``2x``
+faster than single-core numpy on the gated scenario; since process
+parallelism cannot beat one core, the gate is enforced only when the
+host exposes at least two usable cores (the JSON records which).
+Results are written to ``results/sharded_fsim_speedup.json``.
+
+Standalone (writes the JSON, prints the table, exits non-zero if the
+gate is enforced and missed)::
+
+    PYTHONPATH=src python benchmarks/bench_sharded_fsim.py
+    PYTHONPATH=src python benchmarks/bench_sharded_fsim.py --quick
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List
+
+from repro.circuit import GeneratorSpec, generate_circuit
+from repro.faults import collapsed_fault_list
+from repro.fsim.backend import create_backend
+from repro.fsim.sharded import ShardedFaultSim, available_cores
+from repro.sim.patterns import PatternSet
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "results" / \
+    "sharded_fsim_speedup.json"
+
+#: The acceptance bar: sharded >= 2x single-core numpy, gated scenario.
+ACCEPTANCE_SPEEDUP = 2.0
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One (fault count, block width) point on the 10k-gate circuit."""
+
+    name: str
+    num_patterns: int
+    max_faults: int
+    gated: bool
+
+
+#: All scenarios share one 10k-gate generated circuit (the expensive
+#: part to build); the gated point is the full-width one.
+CIRCUIT_SPEC = GeneratorSpec(
+    name="bench_sharded_10k", num_inputs=64, num_gates=10_000,
+    num_outputs=32, seed=2005,
+)
+
+SCENARIOS = (
+    Scenario("10kg-8kf-128p", num_patterns=128, max_faults=8192,
+             gated=False),
+    Scenario("10kg-16kf-256p", num_patterns=256, max_faults=16384,
+             gated=True),
+)
+
+#: The --quick subset: one scaled-down but still 10k-gate point.
+QUICK_SCENARIOS = (
+    Scenario("10kg-8kf-128p-quick", num_patterns=128, max_faults=8192,
+             gated=True),
+)
+
+
+def run_scenario(circ, faults, scenario: Scenario, num_shards: int,
+                 repeats: int) -> Dict:
+    faults = faults[: scenario.max_faults]
+    patterns = PatternSet.random(circ.num_inputs, scenario.num_patterns,
+                                 seed=2005)
+
+    serial = create_backend(circ, "numpy")
+    serial.load(patterns)
+    with ShardedFaultSim(circ, base="numpy", num_shards=num_shards,
+                         min_faults=1) as sharded:
+        sharded.load(patterns)
+
+        # Correctness first: the timed configurations are bit-identical.
+        reference = serial.detection_matrix(faults)
+        if sharded.detection_matrix(faults) != reference:
+            raise AssertionError(
+                f"{scenario.name}: sharded result is not bit-identical"
+            )
+
+        serial_best = parallel_best = float("inf")
+        for __ in range(repeats):
+            started = time.perf_counter()
+            serial.detection_matrix(faults)
+            serial_best = min(serial_best, time.perf_counter() - started)
+
+            started = time.perf_counter()
+            sharded.detection_matrix(faults)
+            parallel_best = min(parallel_best,
+                                time.perf_counter() - started)
+
+    return {
+        "scenario": scenario.name,
+        "num_gates": circ.num_gates,
+        "num_faults": len(faults),
+        "num_patterns": patterns.num_patterns,
+        "serial_seconds": serial_best,
+        "parallel_seconds": parallel_best,
+        "speedup": (serial_best / parallel_best if parallel_best
+                    else float("inf")),
+        "gated": scenario.gated,
+    }
+
+
+def main(argv: List[str]) -> int:
+    quick = "--quick" in argv
+    scenarios = QUICK_SCENARIOS if quick else SCENARIOS
+    repeats = 1 if quick else 2
+    cores = available_cores()
+    num_shards = max(2, cores)
+    gate_enforced = cores >= 2
+
+    circ = generate_circuit(CIRCUIT_SPEC)
+    faults = collapsed_fault_list(circ)
+    rows = [run_scenario(circ, faults, s, num_shards, repeats)
+            for s in scenarios]
+
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps({
+        "acceptance_speedup": ACCEPTANCE_SPEEDUP,
+        "baseline": "single-core numpy",
+        "cores": cores,
+        "shards": num_shards,
+        "gate_enforced": gate_enforced,
+        "gate_waived_reason": (None if gate_enforced else
+                               "single usable core: process parallelism "
+                               "cannot beat one core"),
+        "quick": quick,
+        "rows": rows,
+    }, indent=2) + "\n")
+
+    header = (f"{'scenario':22s} {'gates':>6s} {'faults':>7s} {'pats':>5s} "
+              f"{'serial':>8s} {'parallel':>9s} {'speedup':>8s}")
+    print(f"cores={cores} shards={num_shards} "
+          f"gate={'enforced' if gate_enforced else 'waived (1 core)'}")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['scenario']:22s} {row['num_gates']:6d} "
+              f"{row['num_faults']:7d} {row['num_patterns']:5d} "
+              f"{row['serial_seconds']:7.2f}s {row['parallel_seconds']:8.2f}s "
+              f"{row['speedup']:7.2f}x")
+    print(f"\nwrote {RESULTS_PATH}")
+
+    if gate_enforced:
+        failed = [row for row in rows
+                  if row["gated"] and row["speedup"] < ACCEPTANCE_SPEEDUP]
+        if failed:
+            print(f"FAIL: gated scenarios under {ACCEPTANCE_SPEEDUP}x: "
+                  f"{[r['scenario'] for r in failed]}")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -42,6 +42,10 @@ class TestGenConfig:
     (``None`` — registry default, see :mod:`repro.fsim.backend`).
     """
 
+    # Not a test class despite the Test* name: keep pytest collection away
+    # from test modules that import it.
+    __test__ = False
+
     backtrack_limit: int = 200
     fill: str = "random"
     seed: int = 0
@@ -56,6 +60,8 @@ class TestGenResult:
     (its target plus accidental detections) — the raw material of the
     paper's argument.
     """
+
+    __test__ = False  # Test* name, but not a pytest test class
 
     circuit_name: str
     tests: PatternSet

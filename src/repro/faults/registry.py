@@ -121,6 +121,23 @@ class FaultModel:
         """The model's target list ``F``: collapsed by default."""
         return list(self.collapse(circ) if collapse else self.universe(circ))
 
+    def shard_target_faults(self, circ, num_shards: int,
+                            collapse: bool = True) -> List[list]:
+        """The target list split into ``num_shards`` contiguous slices.
+
+        The sharding contract of :mod:`repro.fsim.sharded` for any
+        registered model: slices are balanced, order-preserving, and
+        concatenate back to :meth:`target_faults` exactly — so per-shard
+        detection-matrix rows reassemble bit-identically.  Shards past
+        the fault count come back empty rather than failing, matching
+        the planner.
+        """
+        from repro.fsim.sharded import plan_shards
+
+        faults = self.target_faults(circ, collapse=collapse)
+        return [faults[start:stop]
+                for start, stop in plan_shards(len(faults), num_shards)]
+
 
 _REGISTRY: Dict[str, FaultModel] = {}
 

@@ -37,7 +37,6 @@ from repro.errors import ReproError
 from repro.flow.cache import ArtifactCache, default_cache_root
 from repro.flow.config import (
     AdiSpec,
-    BackendSpec,
     CircuitSpec,
     FaultModelSpec,
     FlowConfig,
@@ -87,7 +86,14 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--fill", metavar="POLICY",
                        help="X-fill policy: random, zero or one")
     group.add_argument("--backend", metavar="NAME",
-                       help="fault-simulation backend (bigint, numpy, auto)")
+                       help="fault-simulation backend (bigint, numpy, "
+                            "parallel, auto)")
+    group.add_argument("--fsim-shards", type=int, metavar="N",
+                       help="worker count for --backend parallel "
+                            "(default: $REPRO_FSIM_SHARDS or core count)")
+    group.add_argument("--fsim-base", metavar="NAME",
+                       help="base engine each parallel worker runs "
+                            "(default: $REPRO_FSIM_SHARD_BASE or numpy)")
     group.add_argument("--cache-dir", metavar="DIR",
                        help=f"artifact cache root (default "
                             f"{default_cache_root()})")
@@ -166,7 +172,16 @@ def build_config(args: argparse.Namespace) -> FlowConfig:
 
     backend = config.backend
     if args.backend:
-        backend = BackendSpec(fsim=args.backend)
+        backend = dataclasses.replace(backend, fsim=args.backend)
+        if args.backend != "parallel":
+            # Switching away from parallel drops any configured shard
+            # knobs — they are meaningless on other backends.
+            backend = dataclasses.replace(backend, shards=None,
+                                          shard_base=None)
+    if args.fsim_shards is not None:
+        backend = dataclasses.replace(backend, shards=args.fsim_shards)
+    if args.fsim_base:
+        backend = dataclasses.replace(backend, shard_base=args.fsim_base)
 
     seed = args.seed if args.seed is not None else config.seed
     return FlowConfig(

@@ -172,6 +172,10 @@ class OrderSpec:
 class TestGenSpec:
     """Deterministic test-generation knobs (paper Section 4)."""
 
+    # Not a test class despite the Test* name: keep pytest collection away
+    # from test modules that import it.
+    __test__ = False
+
     backtrack_limit: int = 200
     fill: str = "random"
 
@@ -199,12 +203,20 @@ class BackendSpec:
     """Fault-simulation engine selection (see :mod:`repro.fsim.backend`).
 
     ``fsim`` is a registry name or ``None`` for the process default
-    (which honours ``REPRO_FSIM_BACKEND``).  Backends are bit-identical
-    by contract, so this spec is excluded from artifact-cache keys — it
-    affects speed, never results.
+    (which honours ``REPRO_FSIM_BACKEND``).  When ``fsim`` is
+    ``"parallel"`` (the sharded multi-core engine of
+    :mod:`repro.fsim.sharded`), ``shards`` pins the worker count and
+    ``shard_base`` the engine each worker runs; either left ``None``
+    defers to the backend's defaults (``REPRO_FSIM_SHARDS`` /
+    ``REPRO_FSIM_SHARD_BASE``, then core count / ``numpy``).  Backends
+    are bit-identical by contract, so this spec is excluded from
+    artifact-cache keys — it affects speed, never results — and the
+    shard knobs inherit that exclusion.
     """
 
     fsim: Optional[str] = None
+    shards: Optional[int] = None
+    shard_base: Optional[str] = None
 
     def validate(self) -> None:
         """Check the backend is registered; raise :class:`ExperimentError`."""
@@ -214,6 +226,36 @@ class BackendSpec:
             _check(self.fsim in available_backends(),
                    f"backend.fsim {self.fsim!r} not registered; "
                    f"available: {available_backends()}")
+        if self.shards is not None or self.shard_base is not None:
+            _check(self.fsim == "parallel",
+                   "backend.shards/backend.shard_base need "
+                   "backend.fsim 'parallel'")
+        if self.shards is not None:
+            _check(self.shards >= 1, "backend.shards must be >= 1")
+        if self.shard_base is not None:
+            from repro.fsim.backend import available_backends
+
+            _check(self.shard_base in available_backends()
+                   and self.shard_base != "parallel",
+                   f"backend.shard_base {self.shard_base!r} must be a "
+                   f"registered non-parallel backend; available: "
+                   f"{sorted(set(available_backends()) - {'parallel'})}")
+
+    def fsim_spec(self) -> Optional[str]:
+        """The backend-name string consumers resolve, shard knobs encoded.
+
+        Plain names pass through; ``parallel`` with knobs becomes a
+        ``parallel[:SHARDS[:BASE]]`` spec string understood by
+        :func:`repro.fsim.backend.create_backend`, so every ``backend=``
+        channel stays a string.
+        """
+        if self.fsim != "parallel" or (self.shards is None
+                                       and self.shard_base is None):
+            return self.fsim
+        shards = "" if self.shards is None else str(self.shards)
+        if self.shard_base is None:
+            return f"parallel:{shards}"
+        return f"parallel:{shards}:{self.shard_base}"
 
 
 @dataclass(frozen=True)
@@ -314,7 +356,7 @@ class FlowConfig:
 
     def testgen_config(self):
         """The :class:`repro.atpg.engine.TestGenConfig` of this run."""
-        return self.testgen.to_config(self.seed, self.backend.fsim)
+        return self.testgen.to_config(self.seed, self.backend.fsim_spec())
 
 
 def _spec_from_dict(spec_type: type, key: str, data: Any):

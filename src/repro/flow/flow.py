@@ -344,7 +344,7 @@ class Flow:
                 target_coverage=self.config.u.target_coverage,
                 chunk_size=self.config.u.chunk_size,
                 prune_useless=self.config.u.prune_useless,
-                backend=self.config.backend.fsim,
+                backend=self.config.backend.fsim_spec(),
                 model=self._model,
             )
 
@@ -364,7 +364,7 @@ class Flow:
             return compute_adi(
                 self.circuit(), self.faults(), self.selection().patterns,
                 mode=self.config.adi.to_mode(),
-                backend=self.config.backend.fsim,
+                backend=self.config.backend.fsim_spec(),
             )
 
         return self._stage(
@@ -420,7 +420,7 @@ class Flow:
         def compute() -> CurveReport:
             return curve_report(
                 self.circuit(), self.faults(), self.tests(name).tests,
-                backend=self.config.backend.fsim,
+                backend=self.config.backend.fsim_spec(),
             )
 
         return self._stage(

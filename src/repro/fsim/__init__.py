@@ -3,9 +3,11 @@ n-detection — and the unified backend registry that fronts them.
 
 Hot-path consumers (ADI, dropping, ATPG, dictionaries) select an engine
 through :mod:`repro.fsim.backend`: ``bigint`` (event-driven big-int
-PPSFP), ``numpy`` (batched word-parallel, :mod:`repro.fsim.npfsim`) or
-``auto`` (threshold dispatch, the default).  Set ``REPRO_FSIM_BACKEND``
-or pass ``backend=`` to switch the whole pipeline.
+PPSFP), ``numpy`` (batched word-parallel, :mod:`repro.fsim.npfsim`),
+``parallel`` (sharded multi-core over worker processes,
+:mod:`repro.fsim.sharded`) or ``auto`` (threshold dispatch, the
+default).  Set ``REPRO_FSIM_BACKEND`` or pass ``backend=`` to switch
+the whole pipeline.
 
 Every registered backend speaks both fault models: single-vector blocks
 detect stuck-at faults (``load`` / ``detection_words``), two-pattern
@@ -23,6 +25,12 @@ from repro.fsim.backend import (
     default_backend_name,
     register_backend,
     resolve_backend,
+)
+from repro.fsim.sharded import (
+    SHARD_BASE_ENV_VAR,
+    SHARDS_ENV_VAR,
+    ShardedFaultSim,
+    plan_shards,
 )
 from repro.fsim.deductive import (
     deductive_detected,

@@ -29,6 +29,13 @@ Registered backends:
     patterns packed into ``uint64`` words, whole *batches* of faults
     propagated level-by-level with masked numpy ops.  Fastest for large
     circuits × many faults × wide blocks.
+``parallel``
+    The sharded multi-core engine of :mod:`repro.fsim.sharded`: the
+    fault universe is split into contiguous shards, each simulated by a
+    worker process running a base engine, and the packed per-shard
+    detection-matrix rows are reassembled bit-identically.  Fastest when
+    the single-core numpy engine saturates (10k+-gate circuits); spec
+    strings like ``parallel:4:numpy`` pin the shard count / base engine.
 ``auto``
     :class:`AutoFaultSim` — picks per query using circuit size, fault
     count and block width thresholds.  The default.
@@ -217,6 +224,12 @@ def create_backend(circ: CompiledCircuit,
         env = os.environ.get(BACKEND_ENV_VAR, "").strip()
         from_env = bool(env)
         name = env or DEFAULT_BACKEND
+    if name.startswith("parallel:"):
+        # Shard knobs travel through plain name channels as a spec
+        # string: parallel[:SHARDS[:BASE]] (see repro.fsim.sharded).
+        from repro.fsim.sharded import sharded_from_spec
+
+        return sharded_from_spec(circ, name)
     factory = _REGISTRY.get(name)
     if factory is None:
         source = f" (from ${BACKEND_ENV_VAR})" if from_env else ""
@@ -308,6 +321,16 @@ class AutoFaultSim:
     MIN_GATES = 48
     MIN_PATTERNS = 16
 
+    #: Batch queries at/above ALL of these go to the sharded ``parallel``
+    #: backend — when worker processes can help at all (multiple usable
+    #: cores, not already inside a worker; see
+    #: :func:`repro.fsim.sharded.parallel_available`).  The bars are high
+    #: on purpose: process fan-out only pays off where single-core numpy
+    #: saturates.
+    PARALLEL_MIN_FAULTS = 4096
+    PARALLEL_MIN_GATES = 2048
+    PARALLEL_MIN_PATTERNS = 256
+
     def __init__(self, circ: CompiledCircuit):
         self.circ = circ
         self._patterns: Optional[PatternSet] = None
@@ -350,6 +373,13 @@ class AutoFaultSim:
         return engine
 
     def _pick(self, num_faults: int) -> str:
+        if (num_faults >= self.PARALLEL_MIN_FAULTS
+                and self.circ.num_gates >= self.PARALLEL_MIN_GATES
+                and self.num_patterns >= self.PARALLEL_MIN_PATTERNS):
+            from repro.fsim.sharded import parallel_available
+
+            if parallel_available():
+                return "parallel"
         if (num_faults >= self.MIN_FAULTS
                 and self.circ.num_gates >= self.MIN_GATES
                 and self.num_patterns >= self.MIN_PATTERNS):
@@ -403,6 +433,13 @@ def _numpy_factory(circ: CompiledCircuit) -> FaultSimBackend:
     return NumpyFaultSim(circ)
 
 
+def _parallel_factory(circ: CompiledCircuit) -> FaultSimBackend:
+    from repro.fsim.sharded import ShardedFaultSim
+
+    return ShardedFaultSim(circ)
+
+
 register_backend("bigint", _bigint_factory)
 register_backend("numpy", _numpy_factory)
+register_backend("parallel", _parallel_factory)
 register_backend("auto", AutoFaultSim)

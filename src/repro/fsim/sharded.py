@@ -1,0 +1,425 @@
+"""Sharded multi-core fault simulation: the ``parallel`` backend.
+
+Fault-simulation cost is linear in the number of faults, and every fault's
+detection word is independent of every other fault's — so the fault
+universe shards perfectly: split the fault list into contiguous ranges,
+hand each range to a worker process running any *base* engine
+(``bigint``/``numpy``), and stack the per-shard
+:class:`~repro.utils.detmatrix.DetectionMatrix` rows back together.
+Because shard boundaries preserve fault order and each row depends only
+on its own fault, the reassembled matrix is **bit-identical** to the
+single-core result by construction (and exhaustively tested in
+``tests/test_fsim_sharded.py``).
+
+The moving parts:
+
+* :func:`plan_shards` — the shard planner: balanced contiguous row
+  ranges, deterministic, tolerating empty shards when there are more
+  workers than faults;
+* :class:`ShardedFaultSim` — the registered ``parallel`` backend: a
+  lazy ``multiprocessing`` pool of workers (fork start method where
+  available, so the compiled circuit is inherited, not re-pickled per
+  task), each holding one base engine and reloading a staged pattern
+  block only when its generation changes;
+* reassembly — :meth:`repro.utils.detmatrix.DetectionMatrix.concat_rows`
+  over the per-shard row blocks, in shard order;
+* error/teardown propagation — a worker failure (any ``BaseException``,
+  so even a ``KeyboardInterrupt`` inside a worker) crosses the process
+  boundary as a structured error tuple, surfaces as **one**
+  :class:`~repro.errors.SimulationError` naming the shard, and tears the
+  sibling workers down; a ``KeyboardInterrupt`` in the parent likewise
+  terminates the pool before propagating, so no orphan processes
+  survive either failure mode.
+
+Small queries (fewer faults than :attr:`ShardedFaultSim.min_faults`)
+never touch the pool: they run inline on a base engine bound in-process,
+so the backend is safe to select globally (``REPRO_FSIM_BACKEND=parallel``)
+without paying process overhead on tiny problems.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+import weakref
+from typing import List, Optional, Sequence, Tuple
+
+from repro.circuit.flatten import CompiledCircuit
+from repro.errors import SimulationError
+from repro.fsim.backend import (
+    BackendCapabilities,
+    backend_detection_matrix,
+    backend_transition_detection_matrix,
+    create_backend,
+)
+from repro.sim.patterns import PatternPairSet, PatternSet
+from repro.utils.detmatrix import DetectionMatrix
+
+#: Environment variable overriding the shard (worker) count.
+SHARDS_ENV_VAR = "REPRO_FSIM_SHARDS"
+
+#: Environment variable overriding the base engine workers run.
+SHARD_BASE_ENV_VAR = "REPRO_FSIM_SHARD_BASE"
+
+#: Base engine workers run unless configured otherwise.
+DEFAULT_BASE = "numpy"
+
+#: Queries on fewer faults than this run inline (no worker pool).
+DEFAULT_MIN_FAULTS = 1024
+
+
+def available_cores() -> int:
+    """Usable CPU cores (CPU-affinity aware where the OS exposes it)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+def parallel_available() -> bool:
+    """Whether spawning a sharded worker pool can possibly help here.
+
+    False inside daemonic worker processes (they may not have children —
+    a sharded worker must never recursively shard) and on single-core
+    hosts (process parallelism cannot beat one core).
+    """
+    if multiprocessing.current_process().daemon:
+        return False
+    return available_cores() > 1
+
+
+def default_num_shards() -> int:
+    """The shard count: ``$REPRO_FSIM_SHARDS`` or the usable core count."""
+    env = os.environ.get(SHARDS_ENV_VAR, "").strip()
+    if env:
+        try:
+            shards = int(env)
+        except ValueError:
+            raise SimulationError(
+                f"${SHARDS_ENV_VAR} must be a positive integer, got {env!r}"
+            ) from None
+        if shards < 1:
+            raise SimulationError(
+                f"${SHARDS_ENV_VAR} must be >= 1, got {shards}"
+            )
+        return shards
+    return available_cores()
+
+
+def default_base() -> str:
+    """The workers' base engine: ``$REPRO_FSIM_SHARD_BASE`` or ``numpy``."""
+    return os.environ.get(SHARD_BASE_ENV_VAR, "").strip() or DEFAULT_BASE
+
+
+def plan_shards(num_items: int, num_shards: int) -> List[Tuple[int, int]]:
+    """Balanced contiguous ``[start, stop)`` ranges covering ``num_items``.
+
+    Always returns exactly ``num_shards`` ranges in index order; sizes
+    differ by at most one (the first ``num_items % num_shards`` shards
+    take the extra item), and shards past the item count are empty —
+    reassembly tolerates them, so a 7-way plan over 5 faults is valid.
+    """
+    if num_items < 0:
+        raise SimulationError(f"cannot shard {num_items} items")
+    if num_shards < 1:
+        raise SimulationError(f"shard count must be >= 1, got {num_shards}")
+    base, extra = divmod(num_items, num_shards)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for shard in range(num_shards):
+        stop = start + base + (1 if shard < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+# -- worker side ---------------------------------------------------------------
+#
+# Workers are long-lived: the pool initializer binds the circuit and base
+# engine name once, the engine itself is built on first use, and a staged
+# pattern block is re-simulated only when the task's generation counter
+# moves (so N shard queries against one block load it once per worker).
+
+_worker_state: dict = {}
+
+
+def _worker_init(circ: CompiledCircuit, base: str) -> None:
+    """Pool initializer: remember the circuit and base engine name."""
+    _worker_state.clear()
+    _worker_state["circ"] = circ
+    _worker_state["base"] = base
+    _worker_state["engine"] = None
+    _worker_state["loaded"] = None
+
+
+def _worker_query(engine, kind: str, faults: Sequence) -> DetectionMatrix:
+    """One shard's packed query on the worker's base engine."""
+    if kind == "pairs":
+        return backend_transition_detection_matrix(engine, faults)
+    return backend_detection_matrix(engine, faults)
+
+
+def _simulate_shard(task):
+    """Run one shard; never raise — errors travel home as tuples.
+
+    ``task`` is ``(shard_index, kind, generation, block, faults)``.
+    Returns ``("ok", shard_index, words)`` with the shard's uint64 row
+    block, or ``("error", shard_index, summary, traceback_text)``.
+    Catching ``BaseException`` is deliberate: even a ``KeyboardInterrupt``
+    delivered inside a worker must come home as one structured error
+    instead of killing the worker mid-protocol.
+    """
+    shard_index, kind, generation, block, faults = task
+    try:
+        engine = _worker_state.get("engine")
+        if engine is None:
+            engine = create_backend(_worker_state["circ"],
+                                    _worker_state["base"])
+            _worker_state["engine"] = engine
+        if _worker_state.get("loaded") != (kind, generation):
+            if kind == "pairs":
+                engine.load_pairs(block)
+            else:
+                engine.load(block)
+            _worker_state["loaded"] = (kind, generation)
+        if faults:
+            matrix = _worker_query(engine, kind, faults)
+        else:  # empty shard: no query, just a 0-row block of the right width
+            matrix = DetectionMatrix.zeros(0, block.num_patterns)
+        return ("ok", shard_index, matrix.words)
+    except BaseException as exc:  # noqa: BLE001 - crosses process boundary
+        return ("error", shard_index, f"{type(exc).__name__}: {exc}",
+                traceback.format_exc())
+
+
+def _terminate_pool(pool) -> None:
+    """Hard-stop a pool and reap its workers (GC finalizer / teardown)."""
+    pool.terminate()
+    pool.join()
+
+
+class ShardedFaultSim:
+    """The ``parallel`` backend: fault-universe sharding over processes.
+
+    Conforms to :class:`repro.fsim.backend.FaultSimBackend`.  Batch
+    queries shard the fault list with :func:`plan_shards`, fan the
+    ranges out to a lazy worker pool (each worker running the ``base``
+    engine), and reassemble the per-shard rows in shard order — bit
+    identical to the single-core result.  Single-fault queries and
+    batches below ``min_faults`` run inline on an in-process base
+    engine instead.
+
+    The pool is created on first sharded query and torn down by
+    :meth:`close`, by garbage collection (a ``weakref`` finalizer), or —
+    with ``terminate`` semantics — by any error during a sharded query,
+    so a failed run never leaks worker processes.
+    """
+
+    name = "parallel"
+    capabilities = BackendCapabilities(
+        batched=True, incremental=False,
+        description="shards the fault universe across worker processes",
+    )
+
+    def __init__(self, circ: CompiledCircuit, base: Optional[str] = None,
+                 num_shards: Optional[int] = None,
+                 min_faults: Optional[int] = None,
+                 mp_context=None):
+        base = base or default_base()
+        if base == self.name:
+            raise SimulationError(
+                "the parallel backend cannot use itself as base engine"
+            )
+        self.circ = circ
+        self.base = base
+        self.num_shards = (default_num_shards() if num_shards is None
+                           else num_shards)
+        if self.num_shards < 1:
+            raise SimulationError(
+                f"shard count must be >= 1, got {self.num_shards}"
+            )
+        self.min_faults = (DEFAULT_MIN_FAULTS if min_faults is None
+                           else min_faults)
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+        self._ctx = mp_context
+        self._pool = None
+        self._finalizer = None
+        self._inline = None  # in-process base engine for small queries
+        self._inline_loaded: Optional[Tuple[str, int]] = None
+        self._patterns: Optional[PatternSet] = None
+        self._pairs: Optional[PatternPairSet] = None
+        self._generation = 0
+
+    # -- block staging --------------------------------------------------------
+
+    def load(self, patterns: PatternSet) -> None:
+        """Stage a single-vector block; engines load it on first use."""
+        self._patterns = patterns
+        self._pairs = None
+        self._generation += 1
+
+    def load_pairs(self, pairs: PatternPairSet) -> None:
+        """Stage a two-pattern block; engines load it on first use."""
+        self._pairs = pairs
+        self._patterns = None
+        self._generation += 1
+
+    @property
+    def num_patterns(self) -> int:
+        """Width of the staged block (single vectors or pairs)."""
+        if self._pairs is not None:
+            return self._pairs.num_patterns
+        return self._patterns.num_patterns if self._patterns else 0
+
+    def _block(self, kind: str):
+        block = self._pairs if kind == "pairs" else self._patterns
+        if block is None:
+            what = ("two-pattern block; call load_pairs()" if kind == "pairs"
+                    else "pattern block; call load()")
+            raise SimulationError(f"no {what} first")
+        return block
+
+    # -- inline engine (small queries, single-fault queries) ------------------
+
+    def _inline_engine(self, kind: str):
+        block = self._block(kind)
+        if self._inline is None:
+            self._inline = create_backend(self.circ, self.base)
+        if self._inline_loaded != (kind, self._generation):
+            if kind == "pairs":
+                self._inline.load_pairs(block)
+            else:
+                self._inline.load(block)
+            self._inline_loaded = (kind, self._generation)
+        return self._inline
+
+    # -- pool lifecycle -------------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = self._ctx.Pool(
+                processes=self.num_shards,
+                initializer=_worker_init,
+                initargs=(self.circ, self.base),
+            )
+            self._finalizer = weakref.finalize(
+                self, _terminate_pool, self._pool
+            )
+        return self._pool
+
+    def close(self, terminate: bool = False) -> None:
+        """Shut the worker pool down (idempotent).
+
+        ``terminate=True`` hard-stops workers mid-task — the error path;
+        the default waits for a clean exit.  A later sharded query simply
+        builds a fresh pool.
+        """
+        pool, self._pool = self._pool, None
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        if pool is not None:
+            if terminate:
+                pool.terminate()
+            else:
+                pool.close()
+            pool.join()
+
+    def __enter__(self) -> "ShardedFaultSim":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(terminate=exc_type is not None)
+
+    # -- the sharded query core -----------------------------------------------
+
+    def _sharded_matrix(self, kind: str, faults: Sequence) -> DetectionMatrix:
+        block = self._block(kind)
+        if self.num_shards == 1 or len(faults) < self.min_faults:
+            return _worker_query(self._inline_engine(kind), kind, faults)
+        plan = plan_shards(len(faults), self.num_shards)
+        tasks = [
+            (index, kind, self._generation, block, list(faults[start:stop]))
+            for index, (start, stop) in enumerate(plan)
+        ]
+        pool = self._ensure_pool()
+        try:
+            results = pool.map(_simulate_shard, tasks)
+        except BaseException:
+            # Parent-side failure (KeyboardInterrupt included): reap the
+            # workers before propagating so nothing is orphaned.
+            self.close(terminate=True)
+            raise
+        errors = [r for r in results if r[0] == "error"]
+        if errors:
+            self.close(terminate=True)
+            __, index, summary, trace = errors[0]
+            start, stop = plan[index]
+            raise SimulationError(
+                f"parallel shard {index} (faults {start}:{stop}, base "
+                f"{self.base!r}) failed: {summary}\n{trace}"
+            )
+        parts = [
+            DetectionMatrix(words, block.num_patterns)
+            for __, __, words in results  # pool.map preserves task order
+        ]
+        return DetectionMatrix.concat_rows(parts, block.num_patterns)
+
+    # -- the FaultSimBackend surface ------------------------------------------
+
+    def detection_word(self, fault) -> int:
+        """Single-fault query — inline, never worth a process hop."""
+        return self._inline_engine("single").detection_word(fault)
+
+    def detection_words(self, faults: Sequence) -> List[int]:
+        """Batch query as big-int words (compatibility view)."""
+        return self.detection_matrix(faults).to_bigints()
+
+    def detection_matrix(self, faults: Sequence) -> DetectionMatrix:
+        """Packed batch query, sharded across the worker pool."""
+        return self._sharded_matrix("single", faults)
+
+    def transition_detection_word(self, fault) -> int:
+        """Single transition-fault query — inline."""
+        return self._inline_engine("pairs").transition_detection_word(fault)
+
+    def transition_detection_words(self, faults: Sequence) -> List[int]:
+        """Batch transition query as big-int words (compatibility view)."""
+        return self.transition_detection_matrix(faults).to_bigints()
+
+    def transition_detection_matrix(self, faults: Sequence
+                                    ) -> DetectionMatrix:
+        """Packed transition batch query, sharded across the pool."""
+        return self._sharded_matrix("pairs", faults)
+
+
+def sharded_from_spec(circ: CompiledCircuit, spec: str) -> ShardedFaultSim:
+    """Build a :class:`ShardedFaultSim` from a ``parallel[:S[:BASE]]`` spec.
+
+    ``"parallel"`` takes every default, ``"parallel:4"`` pins four
+    shards, ``"parallel:4:bigint"`` additionally pins the base engine;
+    an empty field (``"parallel::bigint"``) keeps that knob's default.
+    This is how shard knobs travel through plain backend-name channels
+    (``REPRO_FSIM_BACKEND``, ``backend=`` strings, flow configs).
+    """
+    parts = spec.split(":")
+    if parts[0] != "parallel" or len(parts) > 3:
+        raise SimulationError(
+            f"bad parallel backend spec {spec!r}; expected "
+            "'parallel[:SHARDS[:BASE]]'"
+        )
+    num_shards: Optional[int] = None
+    if len(parts) >= 2 and parts[1]:
+        try:
+            num_shards = int(parts[1])
+        except ValueError:
+            raise SimulationError(
+                f"bad shard count {parts[1]!r} in backend spec {spec!r}"
+            ) from None
+    base = parts[2] if len(parts) == 3 and parts[2] else None
+    return ShardedFaultSim(circ, base=base, num_shards=num_shards)

@@ -289,6 +289,39 @@ class DetectionMatrix:
         idx = np.asarray(indices, dtype=np.int64)
         return DetectionMatrix(self.words[idx].copy(), self.num_patterns)
 
+    def row_slice(self, start: int, stop: int) -> "DetectionMatrix":
+        """Rows ``start .. stop - 1`` as a new matrix (the shard view).
+
+        Python slice semantics: out-of-range bounds clamp, an empty
+        range yields a valid 0-row matrix.  Together with
+        :meth:`concat_rows` this is the sharding algebra of
+        :mod:`repro.fsim.sharded` — ``concat_rows`` of any partition's
+        ``row_slice`` views round-trips to the original matrix
+        (property-tested).
+        """
+        return DetectionMatrix(self.words[start:stop].copy(),
+                               self.num_patterns)
+
+    @staticmethod
+    def concat_rows(parts: Sequence["DetectionMatrix"],
+                    num_patterns: int) -> "DetectionMatrix":
+        """Stack row blocks in order — the shard reassembly primitive.
+
+        Every part must carry exactly ``num_patterns`` patterns (shards
+        of one block always do); empty parts are legal and contribute
+        nothing.  An empty ``parts`` list yields a 0-row matrix.
+        """
+        for index, part in enumerate(parts):
+            if part.num_patterns != num_patterns:
+                raise ValueError(
+                    f"part {index} covers {part.num_patterns} patterns, "
+                    f"expected {num_patterns}"
+                )
+        if not parts:
+            return DetectionMatrix.zeros(0, num_patterns)
+        words = np.vstack([part.words for part in parts])
+        return DetectionMatrix(np.ascontiguousarray(words), num_patterns)
+
     def _check_aligned(self, other: "DetectionMatrix") -> None:
         if (self.num_patterns != other.num_patterns
                 or self.num_faults != other.num_faults):

@@ -1,0 +1,121 @@
+"""Property tests of the `DetectionMatrix` sharding algebra.
+
+The reassembly step of :mod:`repro.fsim.sharded` is row-wise
+concatenation of row-range slices.  These properties pin the algebra the
+backend's bit-exactness rests on: for *arbitrary* matrices (random F, P,
+random bits) and *arbitrary* partitions (uneven cuts, empty slices,
+more shards than rows), ``concat_rows`` of the ``row_slice`` views
+round-trips to the original matrix, preserves the tail-bit invariant,
+and composes with the shard planner.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fsim.sharded import plan_shards
+from repro.utils.detmatrix import (
+    DetectionMatrix,
+    num_words_for,
+    tail_mask,
+)
+
+
+@st.composite
+def matrices(draw):
+    """Random packed matrices: F in [0, 40], P in [0, 140], random bits."""
+    num_faults = draw(st.integers(min_value=0, max_value=40))
+    num_patterns = draw(st.integers(min_value=0, max_value=140))
+    words = draw(st.lists(
+        st.lists(st.integers(min_value=0, max_value=2 ** 64 - 1),
+                 min_size=num_words_for(num_patterns),
+                 max_size=num_words_for(num_patterns)),
+        min_size=num_faults, max_size=num_faults,
+    ))
+    raw = np.array(words, dtype=np.uint64).reshape(
+        num_faults, num_words_for(num_patterns)
+    )
+    # from_rows masks the tail, establishing the invariant.
+    return DetectionMatrix.from_rows(raw, num_patterns)
+
+
+@st.composite
+def matrices_with_cuts(draw):
+    """A matrix plus a partition of its rows into contiguous ranges."""
+    matrix = draw(matrices())
+    num_cuts = draw(st.integers(min_value=0, max_value=8))
+    cuts = sorted(draw(st.lists(
+        st.integers(min_value=0, max_value=matrix.num_faults),
+        min_size=num_cuts, max_size=num_cuts,
+    )))
+    bounds = [0] + cuts + [matrix.num_faults]
+    return matrix, list(zip(bounds, bounds[1:]))
+
+
+@settings(max_examples=120, deadline=None)
+@given(matrices_with_cuts())
+def test_concat_of_slices_round_trips(case):
+    """Any contiguous partition reassembles to the original, bit for bit."""
+    matrix, ranges = case
+    parts = [matrix.row_slice(start, stop) for start, stop in ranges]
+    rebuilt = DetectionMatrix.concat_rows(parts, matrix.num_patterns)
+    assert rebuilt == matrix
+
+
+@settings(max_examples=80, deadline=None)
+@given(matrices(), st.integers(min_value=1, max_value=11))
+def test_planner_partition_round_trips(matrix, num_shards):
+    """The real shard plan (empty shards included) round-trips too."""
+    plan = plan_shards(matrix.num_faults, num_shards)
+    parts = [matrix.row_slice(start, stop) for start, stop in plan]
+    assert sum(p.num_faults for p in parts) == matrix.num_faults
+    rebuilt = DetectionMatrix.concat_rows(parts, matrix.num_patterns)
+    assert rebuilt == matrix
+    # Big-int rows survive the shard/reassemble cycle unchanged.
+    assert rebuilt.to_bigints() == matrix.to_bigints()
+
+
+@settings(max_examples=80, deadline=None)
+@given(matrices_with_cuts())
+def test_tail_invariant_preserved(case):
+    """Slicing and concatenation never disturb tail bits."""
+    matrix, ranges = case
+    mask = tail_mask(matrix.num_patterns)
+    for start, stop in ranges:
+        part = matrix.row_slice(start, stop)
+        if part.num_faults:
+            assert not np.any(part.words[:, -1] & ~mask)
+    rebuilt = DetectionMatrix.concat_rows(
+        [matrix.row_slice(start, stop) for start, stop in ranges],
+        matrix.num_patterns,
+    )
+    if rebuilt.num_faults:
+        assert not np.any(rebuilt.words[:, -1] & ~mask)
+    # Reassembly must copy, never alias the parts' buffers.
+    assert rebuilt.words.base is None or \
+        rebuilt.words.base is not matrix.words
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrices())
+def test_row_slice_clamps_like_python_slices(matrix):
+    full = matrix.row_slice(0, matrix.num_faults + 10)
+    assert full == matrix
+    empty = matrix.row_slice(matrix.num_faults, matrix.num_faults + 1)
+    assert empty.num_faults == 0
+    assert empty.num_patterns == matrix.num_patterns
+
+
+def test_concat_rejects_mismatched_widths():
+    a = DetectionMatrix.zeros(2, 64)
+    b = DetectionMatrix.zeros(2, 65)
+    with pytest.raises(ValueError, match="part 1"):
+        DetectionMatrix.concat_rows([a, b], 64)
+
+
+def test_concat_of_nothing_is_an_empty_matrix():
+    empty = DetectionMatrix.concat_rows([], 65)
+    assert empty.num_faults == 0
+    assert empty.num_patterns == 65
+    assert empty.num_words == num_words_for(65)
