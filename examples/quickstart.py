@@ -13,18 +13,21 @@ Run:  python examples/quickstart.py
 
 from repro.flow import CircuitSpec, Flow, FlowConfig, USpec
 
+# One config describes the whole run.  kind="generator" synthesizes a
+# small deterministic circuit; kind="suite" would name a benchmark
+# circuit (irs208 ... irs13207) instead.  Module-level so the flow
+# server's smoke test and benchmark replay exactly this config over HTTP.
+CONFIG = FlowConfig(
+    circuit=CircuitSpec(kind="generator", name="quickstart",
+                        num_inputs=10, num_gates=60, num_outputs=5,
+                        gen_seed=42),
+    u=USpec(max_vectors=2048),
+    seed=42,
+)
+
 
 def main():
-    # One config describes the whole run.  kind="generator" synthesizes a
-    # small deterministic circuit; kind="suite" would name a benchmark
-    # circuit (irs208 ... irs13207) instead.
-    config = FlowConfig(
-        circuit=CircuitSpec(kind="generator", name="quickstart",
-                            num_inputs=10, num_gates=60, num_outputs=5,
-                            gen_seed=42),
-        u=USpec(max_vectors=2048),
-        seed=42,
-    )
+    config = CONFIG
     print("config (reproducible recipe):")
     print(config.to_json())
 

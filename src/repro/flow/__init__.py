@@ -22,6 +22,9 @@ Pieces:
 * :mod:`repro.flow.cache` — the content-addressed
   :class:`ArtifactCache` that makes warm re-runs skip every stage;
 * :mod:`repro.flow.serialize` — JSON codecs for every stage artifact;
+* :mod:`repro.flow.server` — the concurrent flow HTTP service
+  (``repro serve``), with single-flight request dedupe
+  (:mod:`repro.flow.dedupe`);
 * :mod:`repro.flow.cli` — the ``repro`` command-line entry point
   (``python -m repro``).
 """
@@ -44,6 +47,7 @@ from repro.flow.config import (
     TestGenSpec,
     USpec,
 )
+from repro.flow.dedupe import InflightTable
 from repro.flow.flow import (
     Flow,
     FlowResult,
@@ -51,6 +55,7 @@ from repro.flow.flow import (
     build_circuit_from_spec,
     run_flow,
 )
+from repro.flow.server import FlowServer
 
 __all__ = [
     "AdiSpec",
@@ -63,6 +68,8 @@ __all__ = [
     "Flow",
     "FlowConfig",
     "FlowResult",
+    "FlowServer",
+    "InflightTable",
     "OrderSpec",
     "StageInfo",
     "TestGenSpec",

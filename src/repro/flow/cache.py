@@ -18,10 +18,21 @@ for each distinct sub-pipeline once.
 
 Artifacts persist as JSON files under ``results/cache/<stage>/<key>.json``
 (override with ``REPRO_FLOW_CACHE_DIR`` or an explicit root).  Writes are
-atomic (temp file + rename); corrupt or truncated files — a killed run,
-a full disk — are detected on read, deleted, and transparently
-recomputed.  Keys are pure content hashes, so the cache is safe to share
-between processes and to prune at any time (``repro cache prune``).
+atomic (temp file + rename) and serialized per key through an on-disk
+lock, so any number of threads or processes can hammer one key and the
+payload is written exactly once (:meth:`ArtifactCache.put` is
+put-if-absent by default); corrupt or truncated files — a killed run, a
+full disk — are detected on read, deleted, and transparently recomputed.
+Keys are pure content hashes, so the cache is safe to share between
+processes and to prune at any time (``repro cache prune``).
+
+For long-running services (:mod:`repro.flow.server`) the cache also
+keeps an append-only *access ledger* (``ledger.jsonl`` under the root):
+every hit and put appends one line, and :meth:`ArtifactCache.prune`
+accepts a byte budget (``max_bytes``) that evicts least-recently-used
+artifacts first until the cache fits.  Hit/miss/put counters are
+maintained in-process (thread-safe) and exposed by
+:meth:`ArtifactCache.counters` for the server's ``/stats`` endpoint.
 """
 
 from __future__ import annotations
@@ -30,8 +41,15 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
+import time
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+try:  # POSIX advisory locks; per open-file-description, so threads contend too
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback below
+    fcntl = None  # type: ignore[assignment]
 
 #: Bump when any artifact's JSON layout changes; part of every key.
 CACHE_FORMAT_VERSION = 1
@@ -41,6 +59,9 @@ CACHE_ENV_VAR = "REPRO_FLOW_CACHE_DIR"
 
 #: Default cache root, relative to the working directory.
 DEFAULT_CACHE_ROOT = os.path.join("results", "cache")
+
+#: File name of the access ledger, directly under the cache root.
+LEDGER_NAME = "ledger.jsonl"
 
 
 def canonical_json(obj: Any) -> str:
@@ -86,20 +107,146 @@ def default_cache_root() -> Path:
     return Path(override) if override else Path(DEFAULT_CACHE_ROOT)
 
 
+class _FileLock:
+    """An exclusive on-disk lock: ``flock`` where available, else a
+    spin on ``O_CREAT|O_EXCL``.
+
+    ``flock`` locks attach to the open file description, so two threads
+    of one process contend exactly like two processes do — one primitive
+    covers both the threaded server and parallel CLI runs sharing a
+    cache directory.
+    """
+
+    def __init__(self, path: Path):
+        self.path = path
+        self._fd: Optional[int] = None
+
+    def __enter__(self) -> "_FileLock":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if fcntl is not None:
+            self._fd = os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
+            fcntl.flock(self._fd, fcntl.LOCK_EX)
+        else:  # pragma: no cover - exercised only on non-POSIX hosts
+            while True:
+                try:
+                    self._fd = os.open(
+                        self.path, os.O_CREAT | os.O_EXCL | os.O_RDWR, 0o644
+                    )
+                    break
+                except FileExistsError:
+                    time.sleep(0.005)
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._fd is None:
+            return
+        try:
+            if fcntl is not None:
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+            else:  # pragma: no cover
+                os.unlink(self.path)
+        finally:
+            os.close(self._fd)
+            self._fd = None
+
+
 class ArtifactCache:
     """A directory of content-addressed JSON artifacts, one per stage result.
 
     The cache never interprets payloads — (de)serialization belongs to
     :mod:`repro.flow.serialize` — it only guarantees that what
     :meth:`get` returns is exactly what :meth:`put` stored under the same
-    key, or ``None``.
+    key, or ``None``.  Safe for concurrent use from threads and
+    processes: writes are per-key locked and atomic, reads never observe
+    a torn file.
+
+    ``ledger`` switches the on-disk access ledger (needed for LRU
+    pruning); it defaults on and costs one appended line per hit/put.
     """
 
-    def __init__(self, root: Union[str, Path, None] = None):
+    def __init__(self, root: Union[str, Path, None] = None, *,
+                 ledger: bool = True):
         self.root = Path(root) if root is not None else default_cache_root()
+        self.ledger_enabled = ledger
+        self._counter_lock = threading.Lock()
+        self._counters = {
+            "hits": 0, "misses": 0,
+            "puts_written": 0, "puts_deduped": 0,
+        }
 
     def _path(self, stage: str, key: str) -> Path:
         return self.root / stage / f"{key}.json"
+
+    def _lock_path(self, stage: str, key: str) -> Path:
+        # Dot-prefixed so stats/prune globbing on *.json never sees it.
+        return self.root / stage / f".{key}.lock"
+
+    def _ledger_path(self) -> Path:
+        return self.root / LEDGER_NAME
+
+    def _count(self, name: str, by: int = 1) -> None:
+        with self._counter_lock:
+            self._counters[name] += by
+
+    def counters(self) -> Dict[str, int]:
+        """A snapshot of this process's hit/miss/put counters."""
+        with self._counter_lock:
+            return dict(self._counters)
+
+    # -- ledger --------------------------------------------------------------
+
+    def _ledger_append(self, event: str, stage: str, key: str) -> None:
+        if not self.ledger_enabled:
+            return
+        line = canonical_json({
+            "event": event, "stage": stage, "key": key, "ts": time.time(),
+        })
+        path = self._ledger_path()
+        try:
+            with _FileLock(path.with_suffix(".lock")):
+                with open(path, "a") as handle:
+                    handle.write(line + "\n")
+        except OSError:
+            # The ledger is advisory (it only sharpens LRU pruning);
+            # never let it fail a read or write of real artifacts.
+            pass
+
+    def _ledger_access_times(self) -> Dict[Tuple[str, str], float]:
+        """Last recorded access per (stage, key); empty if no ledger."""
+        times: Dict[Tuple[str, str], float] = {}
+        try:
+            text = self._ledger_path().read_text()
+        except OSError:
+            return times
+        for line in text.splitlines():
+            try:
+                entry = json.loads(line)
+                times[(entry["stage"], entry["key"])] = float(entry["ts"])
+            except (ValueError, TypeError, KeyError):
+                continue  # torn tail line from a killed appender
+        return times
+
+    def _ledger_rewrite(self,
+                        times: Dict[Tuple[str, str], float]) -> None:
+        """Compact the ledger to one line per surviving artifact."""
+        if not self.ledger_enabled:
+            return
+        path = self._ledger_path()
+        lines = [
+            canonical_json({"event": "hit", "stage": stage, "key": key,
+                            "ts": ts})
+            for (stage, key), ts in sorted(times.items(),
+                                           key=lambda item: item[1])
+        ]
+        try:
+            with _FileLock(path.with_suffix(".lock")):
+                tmp = path.with_suffix(".tmp")
+                tmp.write_text("".join(line + "\n" for line in lines))
+                os.replace(tmp, path)
+        except OSError:
+            pass
+
+    # -- artifact I/O --------------------------------------------------------
 
     def get(self, stage: str, key: str) -> Optional[Dict[str, Any]]:
         """The stored payload for (stage, key), or ``None``.
@@ -111,6 +258,7 @@ class ArtifactCache:
         try:
             text = path.read_text()
         except (FileNotFoundError, OSError):
+            self._count("misses")
             return None
         try:
             document = json.loads(text)
@@ -120,37 +268,82 @@ class ArtifactCache:
                 raise ValueError("artifact document malformed")
         except (ValueError, TypeError):
             # Corrupt cache entry: recover by deleting, caller recomputes.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            # Taking the key lock keeps the unlink from racing a concurrent
+            # writer's rename (we would delete the fresh artifact).
+            with _FileLock(self._lock_path(stage, key)):
+                if self._read_valid(path, key) is None:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+            self._count("misses")
+            return None
+        self._count("hits")
+        self._ledger_append("hit", stage, key)
+        return document["payload"]
+
+    @staticmethod
+    def _read_valid(path: Path, key: str) -> Optional[Dict[str, Any]]:
+        """The document's payload if ``path`` holds a well-formed artifact
+        for ``key``, else ``None`` (no side effects)."""
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, ValueError, TypeError):
+            return None
+        if (not isinstance(document, dict) or document.get("key") != key
+                or "payload" not in document):
             return None
         return document["payload"]
 
-    def put(self, stage: str, key: str, payload: Dict[str, Any]) -> Path:
-        """Persist a payload atomically; returns the artifact path."""
+    def put(self, stage: str, key: str, payload: Dict[str, Any], *,
+            replace: bool = False) -> Path:
+        """Persist a payload atomically; returns the artifact path.
+
+        Writes are serialized per key: when several threads or processes
+        race a put of the same key, exactly one writes and the rest
+        observe the existing artifact and skip (keys are content
+        addresses — same key means same payload).  ``replace=True``
+        forces the write, for callers replacing an artifact they know to
+        be stale (e.g. one that deserialized but failed validation).
+        """
         path = self._path(stage, key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        document = {
-            "format": CACHE_FORMAT_VERSION,
-            "stage": stage,
-            "key": key,
-            "payload": payload,
-        }
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{key[:16]}-", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(document, handle)
-            os.replace(tmp_name, path)
-        except BaseException:
+        with _FileLock(self._lock_path(stage, key)):
+            if not replace and self._read_valid(path, key) is not None:
+                self._count("puts_deduped")
+                return path
+            document = {
+                "format": CACHE_FORMAT_VERSION,
+                "stage": stage,
+                "key": key,
+                "payload": payload,
+            }
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key[:16]}-", suffix=".tmp"
+            )
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(document, handle)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        self._count("puts_written")
+        self._ledger_append("put", stage, key)
         return path
+
+    def delete(self, stage: str, key: str) -> bool:
+        """Remove one artifact (e.g. one that failed validation);
+        returns whether a file was removed."""
+        with _FileLock(self._lock_path(stage, key)):
+            try:
+                self._path(stage, key).unlink()
+                return True
+            except OSError:
+                return False
 
     # -- maintenance ---------------------------------------------------------
 
@@ -186,13 +379,68 @@ class ArtifactCache:
             "total_bytes": total_bytes,
         }
 
-    def prune(self, stage: Optional[str] = None) -> int:
-        """Delete all artifacts (of one stage, or everywhere); returns count."""
-        removed = 0
+    def prune(self, stage: Optional[str] = None,
+              max_bytes: Optional[int] = None) -> int:
+        """Delete artifacts; returns how many were removed.
+
+        Without ``max_bytes`` this clears everything (of one stage, or
+        the whole cache) — the historical behaviour.  With ``max_bytes``
+        it enforces an LRU size bound instead: least-recently-used
+        artifacts (per the access ledger, falling back to file mtime for
+        artifacts that predate it) are evicted until the cache's total
+        size is within the budget.  Pruning to a budget is idempotent —
+        a second call with the same budget removes nothing.
+        """
+        if max_bytes is None:
+            removed = 0
+            for path in self._artifact_files(stage):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            if stage is None:
+                try:
+                    self._ledger_path().unlink()
+                except OSError:
+                    pass
+            else:
+                times = self._ledger_access_times()
+                survivors = {sk: ts for sk, ts in times.items()
+                             if sk[0] != stage}
+                if len(survivors) != len(times):
+                    self._ledger_rewrite(survivors)
+            return removed
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        times = self._ledger_access_times()
+        entries = []  # (last_access, path, size, (stage, key))
+        total = 0
         for path in self._artifact_files(stage):
+            stage_key_pair = (path.parent.name, path.stem)
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            last = times.get(stage_key_pair, stat.st_mtime)
+            entries.append((last, path, stat.st_size, stage_key_pair))
+            total += stat.st_size
+        removed = 0
+        evicted = set()
+        for last, path, size, stage_key_pair in sorted(
+                entries, key=lambda e: (e[0], str(e[1]))):
+            if total <= max_bytes:
+                break
             try:
                 path.unlink()
-                removed += 1
             except OSError:
-                pass
+                continue
+            total -= size
+            removed += 1
+            evicted.add(stage_key_pair)
+        if removed:
+            survivors = {
+                sk: ts for sk, ts in times.items() if sk not in evicted
+            }
+            self._ledger_rewrite(survivors)
         return removed

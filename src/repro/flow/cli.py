@@ -7,8 +7,10 @@ Usage (installed console script, or ``python -m repro``)::
     repro order   --circuit irs208 --order dynm           # just the permutation
     repro testgen --circuit irs208 --write-tests t.txt    # tests + pattern file
     repro report  --circuit irs208 --order 0dynm          # coverage curve / AVE
+    repro serve   --port 8321                             # flow-as-a-service
     repro cache stats                                     # artifact inventory
     repro cache prune --stage testgen                     # drop one stage
+    repro cache prune --max-bytes 10000000                # LRU size bound
 
 Every run subcommand accepts the same configuration surface: ``--config``
 loads a :class:`repro.flow.config.FlowConfig` JSON document, and
@@ -309,16 +311,59 @@ def _write_tests(flow: Flow, destination: str) -> None:
         write_patterns(tests, Path(destination))
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the flow service until SIGINT/SIGTERM, then drain and exit."""
+    import signal
+    import threading
+
+    from repro.flow.server import FlowServer
+
+    cache = None if args.no_cache else (args.cache_dir
+                                        or default_cache_root())
+    server = FlowServer(
+        (args.host, args.port),
+        cache=cache,
+        max_body=args.max_body,
+        allow_bench=args.allow_bench,
+        quiet=not args.verbose,
+    )
+    host, port = server.server_address[:2]
+    print(f"repro flow server listening on http://{host}:{port} "
+          f"(cache: {server.cache.root if server.cache else 'disabled'})",
+          flush=True)
+
+    def _shutdown(signum, frame) -> None:
+        # Runs in the main thread mid-serve_forever; the drain must not
+        # block the accept loop's own shutdown, so hand it to a thread.
+        print("repro flow server draining "
+              f"(signal {signum})...", flush=True)
+        threading.Thread(
+            target=server.shutdown_gracefully,
+            kwargs={"timeout": args.drain_timeout},
+            daemon=True,
+        ).start()
+
+    signal.signal(signal.SIGINT, _shutdown)
+    signal.signal(signal.SIGTERM, _shutdown)
+    try:
+        server.serve_forever()
+    finally:
+        print("repro flow server stopped", flush=True)
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ArtifactCache(args.cache_dir or None)
     if args.action == "prune":
-        removed = cache.prune(stage=args.stage)
+        removed = cache.prune(stage=args.stage, max_bytes=args.max_bytes)
         document: Dict[str, Any] = {
             "schema": "repro.flow.cache/v1",
             "action": "prune",
             "root": str(cache.root),
             "removed": removed,
         }
+        if args.max_bytes is not None:
+            document["max_bytes"] = args.max_bytes
         text = f"pruned {removed} artifact(s) under {cache.root}"
     else:
         stats = cache.stats()
@@ -361,12 +406,39 @@ def make_parser() -> argparse.ArgumentParser:
                             help="coverage-curve report of a test set")
     _add_config_arguments(report)
 
+    serve = sub.add_parser(
+        "serve", help="run the flow HTTP service (POST /run, GET /stats)")
+    serve.add_argument("--host", default="127.0.0.1", metavar="HOST",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8321, metavar="N",
+                       help="bind port (default 8321; 0 picks a free one)")
+    serve.add_argument("--cache-dir", metavar="DIR",
+                       help=f"artifact cache root (default "
+                            f"{default_cache_root()})")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="serve without a disk artifact cache")
+    serve.add_argument("--max-body", type=int, metavar="BYTES",
+                       default=1 << 20,
+                       help="reject request bodies above BYTES with 413 "
+                            "(default 1 MiB)")
+    serve.add_argument("--allow-bench", action="store_true",
+                       help="accept configs with circuit.kind 'bench' "
+                            "(reads local netlist paths)")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="graceful-shutdown drain limit (default 30)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log one line per handled request")
+
     cache = sub.add_parser("cache", help="inspect or prune the artifact cache")
     cache.add_argument("action", nargs="?", default="stats",
                        choices=("stats", "prune"),
                        help="what to do (default: stats)")
     cache.add_argument("--stage", metavar="NAME",
                        help="restrict prune to one stage directory")
+    cache.add_argument("--max-bytes", type=int, metavar="N",
+                       help="prune to an LRU size bound instead of "
+                            "deleting everything")
     cache.add_argument("--cache-dir", metavar="DIR",
                        help="artifact cache root")
     cache.add_argument("--json", action="store_true",
@@ -383,6 +455,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "cache":
             return _cmd_cache(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         renderers = {
             "run": _render_run,
             "order": _render_order,

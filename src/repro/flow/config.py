@@ -358,6 +358,27 @@ class FlowConfig:
         """The :class:`repro.atpg.engine.TestGenConfig` of this run."""
         return self.testgen.to_config(self.seed, self.backend.fsim_spec())
 
+    def fingerprint(self) -> str:
+        """A cheap stable identity of the *literal* config document.
+
+        Unlike :meth:`repro.flow.flow.Flow.run_key` this hashes the
+        config exactly as given (backend knobs included, no file
+        contents read), so it is safe to compute before any I/O — the
+        flow server uses it to label requests in logs and metrics.
+        """
+        from repro.flow.cache import stable_hash
+
+        return stable_hash(self.to_dict())
+
+    def requires_local_files(self) -> bool:
+        """Whether running this config reads files off the local disk.
+
+        ``bench`` circuit specs name an arbitrary netlist path; a
+        service accepting configs from the network refuses them unless
+        explicitly allowed (see ``repro serve --allow-bench``).
+        """
+        return self.circuit.kind == "bench"
+
 
 def _spec_from_dict(spec_type: type, key: str, data: Any):
     """Build one sub-spec, rejecting unknown fields by name."""

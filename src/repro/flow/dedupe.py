@@ -1,0 +1,162 @@
+"""Single-flight request coalescing for the flow server.
+
+The scaling premise of :mod:`repro.flow.server` is that repeated traffic
+is cheap: warm requests answer from the artifact cache, and *concurrent*
+identical requests must not each run the pipeline.  This module provides
+the primitive for the second half — an :class:`InflightTable` that, per
+content-address key, admits exactly one *leader* computation and
+attaches every concurrent duplicate request as a *follower*:
+
+* the leader runs the flow, publishes per-stage progress events, and
+  finally a result (or an exception);
+* followers subscribe mid-flight and receive a replay of the events so
+  far plus everything still to come, then the shared result.
+
+Keys are :meth:`repro.flow.flow.Flow.run_key` content addresses, so two
+requests dedupe exactly when they would compute identical results — a
+config differing only in backend selection coalesces too.
+
+The table is process-local (threads of one server).  Cross-process
+safety is the artifact cache's job (per-key file locks); this layer only
+prevents redundant *computation* inside one server.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Sentinel closing a follower's event stream.
+_DONE = object()
+
+
+class Computation:
+    """One in-flight keyed computation: a result slot plus an event log
+    that late subscribers replay from the start."""
+
+    def __init__(self, key: str):
+        self.key = key
+        self.done = threading.Event()
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self.followers = 0
+        self._lock = threading.Lock()
+        self._events: List[Any] = []
+        self._subscribers: List["queue.SimpleQueue[Any]"] = []
+
+    def publish(self, event: Any) -> None:
+        """Record one progress event and fan it out to subscribers."""
+        with self._lock:
+            self._events.append(event)
+            subscribers = list(self._subscribers)
+        for q in subscribers:
+            q.put(event)
+
+    def subscribe(self) -> "queue.SimpleQueue[Any]":
+        """A queue yielding every event (past and future), then the
+        ``DONE`` sentinel once :meth:`finish` has run."""
+        q: "queue.SimpleQueue[Any]" = queue.SimpleQueue()
+        with self._lock:
+            for event in self._events:
+                q.put(event)
+            if self.done.is_set():
+                q.put(_DONE)
+            else:
+                self._subscribers.append(q)
+        return q
+
+    def events(self, q: "queue.SimpleQueue[Any]"):
+        """Iterate a subscription queue until the stream closes."""
+        while True:
+            event = q.get()
+            if event is _DONE:
+                return
+            yield event
+
+    def finish(self, result: Any = None,
+               exception: Optional[BaseException] = None) -> None:
+        """Publish the outcome and close every subscriber stream."""
+        with self._lock:
+            self.result = result
+            self.exception = exception
+            self.done.set()
+            subscribers = self._subscribers
+            self._subscribers = []
+        for q in subscribers:
+            q.put(_DONE)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the leader finished; returns ``False`` on timeout."""
+        return self.done.wait(timeout)
+
+    def outcome(self) -> Any:
+        """The leader's result, re-raising its exception for followers."""
+        if self.exception is not None:
+            raise self.exception
+        return self.result
+
+
+class InflightTable:
+    """The per-key single-flight registry.
+
+    :meth:`lease` hands the caller a :class:`Computation` plus a
+    leadership flag; exactly one concurrent caller per key leads.  The
+    leader must call :meth:`complete` in a ``finally`` — it closes the
+    computation and removes it from the table so later requests (no
+    longer concurrent) start fresh, answering from the artifact cache.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, Computation] = {}
+        self._deduped_total = 0
+
+    def lease(self, key: str) -> Tuple[Computation, bool]:
+        """The computation for ``key`` and whether the caller leads it."""
+        with self._lock:
+            entry = self._inflight.get(key)
+            if entry is not None:
+                entry.followers += 1
+                self._deduped_total += 1
+                return entry, False
+            entry = Computation(key)
+            self._inflight[key] = entry
+            return entry, True
+
+    def complete(self, entry: Computation, result: Any = None,
+                 exception: Optional[BaseException] = None) -> None:
+        """Leader-only: publish the outcome and retire the entry."""
+        entry.finish(result, exception=exception)
+        with self._lock:
+            if self._inflight.get(entry.key) is entry:
+                del self._inflight[entry.key]
+
+    def run(self, key: str, compute: Callable[[Computation], Any]) -> \
+            Tuple[Any, bool]:
+        """Single-flight ``compute`` under ``key``.
+
+        Returns ``(result, led)``.  The leader executes
+        ``compute(entry)`` (publishing progress through ``entry``);
+        followers block for the shared outcome, and a leader exception
+        propagates to every coalesced caller.
+        """
+        entry, leads = self.lease(key)
+        if not leads:
+            entry.wait()
+            return entry.outcome(), False
+        try:
+            result = compute(entry)
+        except BaseException as exc:
+            self.complete(entry, exception=exc)
+            raise
+        self.complete(entry, result)
+        return result, True
+
+    def stats(self) -> Dict[str, int]:
+        """Current in-flight count and the lifetime dedupe total."""
+        with self._lock:
+            return {
+                "inflight": len(self._inflight),
+                "deduped_total": self._deduped_total,
+            }

@@ -179,7 +179,8 @@ class Flow:
     """
 
     def __init__(self, config: FlowConfig,
-                 cache: Union[ArtifactCache, str, None] = None):
+                 cache: Union[ArtifactCache, str, None] = None,
+                 observer=None):
         config.validate()
         self.config = config
         if cache is None or isinstance(cache, ArtifactCache):
@@ -190,14 +191,23 @@ class Flow:
         self._memo: Dict[str, Any] = {}
         self._keys: Dict[str, str] = {}
         self.stage_log: Dict[str, StageInfo] = {}
+        #: Called with each StageInfo as the stage finishes — the hook
+        #: the flow server's progress stream feeds from.  Observer
+        #: failures (e.g. a disconnected stream consumer) never abort
+        #: the pipeline.
+        self.observer = observer
 
     # -- internals -----------------------------------------------------------
 
     def _record(self, name: str, key: str, source: str,
                 seconds: float) -> None:
-        self.stage_log[name] = StageInfo(
-            stage=name, key=key, source=source, seconds=seconds
-        )
+        info = StageInfo(stage=name, key=key, source=source, seconds=seconds)
+        self.stage_log[name] = info
+        if self.observer is not None:
+            try:
+                self.observer(info)
+            except Exception:
+                pass
 
     def _stage(self, name: str, directory: str, key: str, compute,
                encode=None, decode=None):
@@ -220,7 +230,10 @@ class Flow:
                     source = "cache"
                 except (ReproError, KeyError, TypeError, ValueError):
                     # Artifact deserialized but failed validation (e.g. a
-                    # stale or hand-edited file): recompute and overwrite.
+                    # stale or hand-edited file): delete it and recompute
+                    # (put is put-if-absent, so the stale file must go
+                    # before the recomputed artifact can land).
+                    self.cache.delete(directory, key)
                     value = None
         if value is None:
             value = compute()
@@ -310,6 +323,18 @@ class Flow:
         return self._cached_key(f"curve:{name}", lambda: stage_key(
             "curve", {}, [self.testgen_key(name), self.faults_key()]
         ))
+
+    def run_key(self, order: Optional[str] = None) -> str:
+        """Content address of a whole :meth:`run` for one order.
+
+        The final stage's key already chains every semantic knob (and,
+        for ``bench`` circuits, the netlist file content) while — like
+        all stage keys — excluding the backend spec, which affects speed
+        but never results.  This is the key the flow server dedupes
+        concurrent identical requests on: two configs that would compute
+        identical results share one key.
+        """
+        return self.report_key(order)
 
     # -- pipeline stages ------------------------------------------------------
 

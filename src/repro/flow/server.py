@@ -1,0 +1,465 @@
+"""Flow-as-a-service: a concurrent HTTP server for ADI ordering runs.
+
+``repro serve`` puts a long-running service in front of the staged
+:class:`~repro.flow.flow.Flow` pipeline.  Clients POST a
+:class:`~repro.flow.config.FlowConfig` JSON document (the ``repro.flow/v1``
+config schema) and get back the run summary; the server turns heavy
+repeat traffic into cheap reads through three layers:
+
+1. **Artifact cache** — every stage result is content-addressed on disk
+   (:mod:`repro.flow.cache`), so a warm request re-runs nothing;
+2. **Result memo** — a small in-process LRU of finished run summaries
+   keyed by :meth:`~repro.flow.flow.Flow.run_key`, so the hottest
+   configs skip even artifact decoding;
+3. **Single-flight dedupe** — concurrent identical requests coalesce
+   onto one computation (:mod:`repro.flow.dedupe`), keyed by the same
+   sha-256 stage-key chain, so a thundering herd of N equal configs
+   runs the pipeline exactly once.
+
+Endpoints (all JSON):
+
+* ``POST /run`` — run a config; the response carries ``source``:
+  ``"computed"`` (at least one stage executed), ``"cache"`` (served
+  without executing any stage), or ``"inflight"`` (coalesced onto a
+  concurrent identical computation).
+* ``POST /run?stream=1`` — same, but as an SSE-style event stream:
+  one ``stage`` event per finished pipeline stage (fed from the Flow's
+  stage observer), then one ``result`` event with the full document.
+* ``GET /stats`` — cache hit/miss/put counters, dedupe and request
+  totals, memo occupancy, drain state.
+* ``GET /healthz`` — ``{"status": "ok"}``, or ``"draining"``.
+
+Requests whose body exceeds ``max_body`` get 413; malformed JSON or an
+invalid config gets 400 naming the problem; a draining server rejects
+new runs with 503 (``Retry-After``) while in-flight runs finish.  By
+default configs that read local files (``circuit.kind == "bench"``) are
+refused — the service executes network input — unless constructed with
+``allow_bench=True`` (``repro serve --allow-bench``).
+
+The server is stdlib-only: :class:`http.server.ThreadingHTTPServer`
+with daemon worker threads, one per connection.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import urlparse, parse_qs
+
+from repro.errors import ReproError
+from repro.flow.cache import ArtifactCache
+from repro.flow.config import FlowConfig
+from repro.flow.dedupe import Computation, InflightTable
+from repro.flow.flow import Flow
+
+#: Response/stream schema version.
+SERVER_SCHEMA = "repro.flow.server/v1"
+
+#: Default request-body ceiling (a FlowConfig is a few hundred bytes).
+DEFAULT_MAX_BODY = 1 << 20
+
+
+class FlowServer(ThreadingHTTPServer):
+    """The threaded flow service; see the module docstring for the API.
+
+    ``cache`` is an :class:`~repro.flow.cache.ArtifactCache`, a root
+    path, or ``None`` for memo-and-dedupe-only service.  ``flow_factory``
+    (signature ``(config, observer) -> Flow``) exists for tests to
+    instrument flow construction — e.g. counting real executions under
+    concurrent identical requests.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int] = ("127.0.0.1", 0), *,
+                 cache: Any = None,
+                 max_body: int = DEFAULT_MAX_BODY,
+                 allow_bench: bool = False,
+                 memo_size: int = 128,
+                 quiet: bool = True,
+                 flow_factory=None):
+        super().__init__(address, FlowRequestHandler)
+        if cache is None or isinstance(cache, ArtifactCache):
+            self.cache = cache
+        else:
+            self.cache = ArtifactCache(cache)
+        self.max_body = max_body
+        self.allow_bench = allow_bench
+        self.quiet = quiet
+        self.flow_factory = flow_factory or self._default_flow_factory
+        self.inflight = InflightTable()
+        self._memo: "collections.OrderedDict[str, Dict[str, Any]]" = \
+            collections.OrderedDict()
+        self._memo_size = memo_size
+        self._state_lock = threading.Lock()
+        self._draining = False
+        self._active_runs = 0
+        self._idle = threading.Condition(self._state_lock)
+        self.request_counters = {
+            "requests_total": 0, "served_computed": 0, "served_cache": 0,
+            "served_inflight": 0, "errors": 0,
+        }
+
+    def _default_flow_factory(self, config: FlowConfig, observer) -> Flow:
+        return Flow(config, cache=self.cache, observer=observer)
+
+    # -- counters / memo -----------------------------------------------------
+
+    def count(self, name: str) -> None:
+        with self._state_lock:
+            self.request_counters[name] += 1
+
+    def memo_get(self, key: str) -> Optional[Dict[str, Any]]:
+        with self._state_lock:
+            document = self._memo.get(key)
+            if document is not None:
+                self._memo.move_to_end(key)
+            return document
+
+    def memo_put(self, key: str, document: Dict[str, Any]) -> None:
+        if self._memo_size <= 0:
+            return
+        with self._state_lock:
+            self._memo[key] = document
+            self._memo.move_to_end(key)
+            while len(self._memo) > self._memo_size:
+                self._memo.popitem(last=False)
+
+    # -- drain / shutdown ----------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        with self._state_lock:
+            return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop admitting new runs (they get 503); in-flight runs finish."""
+        with self._state_lock:
+            self._draining = True
+
+    def enter_run(self) -> bool:
+        """Admission control: registers a run, or refuses while draining."""
+        with self._state_lock:
+            if self._draining:
+                return False
+            self._active_runs += 1
+            return True
+
+    def exit_run(self) -> None:
+        with self._idle:
+            self._active_runs -= 1
+            if self._active_runs == 0:
+                self._idle.notify_all()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Begin drain and wait for in-flight runs; ``False`` on timeout."""
+        self.begin_drain()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self._active_runs > 0:
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+        return True
+
+    def shutdown_gracefully(self, timeout: Optional[float] = None) -> bool:
+        """Drain, then stop the accept loop and close the socket."""
+        drained = self.drain(timeout)
+        self.shutdown()
+        self.server_close()
+        return drained
+
+    def stats_document(self) -> Dict[str, Any]:
+        """The ``/stats`` payload."""
+        with self._state_lock:
+            requests = dict(self.request_counters)
+            memo = {"entries": len(self._memo), "size": self._memo_size}
+            draining = self._draining
+            active = self._active_runs
+        document: Dict[str, Any] = {
+            "schema": SERVER_SCHEMA,
+            "requests": requests,
+            "dedupe": self.inflight.stats(),
+            "memo": memo,
+            "active_runs": active,
+            "draining": draining,
+        }
+        if self.cache is not None:
+            cache_stats = self.cache.stats()
+            document["cache"] = {
+                **self.cache.counters(),
+                "files": cache_stats["total_files"],
+                "bytes": cache_stats["total_bytes"],
+                "root": cache_stats["root"],
+            }
+        return document
+
+
+class _HTTPError(Exception):
+    """A client-visible error with an HTTP status."""
+
+    def __init__(self, status: int, message: str,
+                 headers: Optional[Dict[str, str]] = None):
+        super().__init__(message)
+        self.status = status
+        self.headers = headers or {}
+
+
+class FlowRequestHandler(BaseHTTPRequestHandler):
+    """One request: parse → admit → dedupe → run/serve → respond."""
+
+    protocol_version = "HTTP/1.1"
+    server: FlowServer  # narrowed for type checkers
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, document: Dict[str, Any],
+                   headers: Optional[Dict[str, str]] = None) -> None:
+        body = json.dumps(document).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str,
+                         headers: Optional[Dict[str, str]] = None) -> None:
+        self.server.count("errors")
+        self._send_json(status, {
+            "schema": SERVER_SCHEMA, "error": message, "status": status,
+        }, headers)
+
+    # -- request body --------------------------------------------------------
+
+    def _read_config(self) -> FlowConfig:
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            raise _HTTPError(411, "Content-Length required")
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise _HTTPError(400, "malformed Content-Length")
+        if length > self.server.max_body:
+            # Close rather than read an arbitrarily large body.
+            self.close_connection = True
+            raise _HTTPError(
+                413, f"request body {length} bytes exceeds limit "
+                     f"{self.server.max_body}")
+        body = self.rfile.read(length)
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise _HTTPError(400, f"request body is not valid JSON: {exc}")
+        try:
+            config = FlowConfig.from_dict(data).validate()
+        except ReproError as exc:
+            raise _HTTPError(400, str(exc))
+        if config.requires_local_files() and not self.server.allow_bench:
+            raise _HTTPError(
+                400, "circuit.kind 'bench' reads local files and is "
+                     "disabled on this server (start with --allow-bench)")
+        return config
+
+    # -- handlers ------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        path = urlparse(self.path).path
+        try:
+            if path == "/stats":
+                self._send_json(200, self.server.stats_document())
+            elif path == "/healthz":
+                status = "draining" if self.server.draining else "ok"
+                self._send_json(200, {"schema": SERVER_SCHEMA,
+                                      "status": status})
+            else:
+                self._send_error_json(404, f"unknown path {path!r}")
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+
+    def do_POST(self) -> None:
+        parsed = urlparse(self.path)
+        if parsed.path != "/run":
+            self._send_error_json(404, f"unknown path {parsed.path!r}")
+            return
+        stream = parse_qs(parsed.query).get("stream", ["0"])[0] not in \
+            ("0", "", "false")
+        self.server.count("requests_total")
+        try:
+            try:
+                config = self._read_config()
+            except _HTTPError as exc:
+                self._send_error_json(exc.status, str(exc), exc.headers)
+                return
+            if not self.server.enter_run():
+                self._send_error_json(503, "server is draining",
+                                      {"Retry-After": "1"})
+                return
+            try:
+                self._serve_run(config, stream)
+            finally:
+                self.server.exit_run()
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+
+    # -- the run path --------------------------------------------------------
+
+    def _serve_run(self, config: FlowConfig, stream: bool) -> None:
+        try:
+            probe = self.server.flow_factory(config, None)
+            key = probe.run_key()
+        except ReproError as exc:
+            self._send_error_json(400, f"invalid flow config: {exc}")
+            return
+
+        memo = self.server.memo_get(key)
+        if memo is not None:
+            # source/fingerprint describe THIS request, not the one that
+            # populated the memo (e.g. a different backend spec).
+            document = dict(memo, source="cache",
+                            config_fingerprint=config.fingerprint())
+            self.server.count("served_cache")
+            if stream:
+                self._stream_events(
+                    [("stage", info) for info in document["result"]["stages"]],
+                    document)
+            else:
+                self._send_json(200, document)
+            return
+
+        entry, leads = self.server.inflight.lease(key)
+        if leads:
+            self._lead(config, entry, stream)
+        else:
+            self._follow(config, entry, stream)
+
+    def _lead(self, config: FlowConfig, entry: Computation,
+              stream: bool) -> None:
+        """Run the flow, publishing stage events; respond and memoize."""
+        streamed_headers = False
+        if stream:
+            self._start_stream()
+            streamed_headers = True
+
+        def observer(info) -> None:
+            event = ("stage", info.to_dict())
+            entry.publish(event)
+            if stream:
+                # The observer runs in this handler thread mid-flow, so
+                # writing here streams progress as each stage finishes.
+                self._write_event(*event)
+
+        try:
+            flow = self.server.flow_factory(config, observer)
+            result = flow.run()
+        except BaseException as exc:
+            self.server.inflight.complete(entry, exception=exc)
+            if isinstance(exc, (BrokenPipeError, ConnectionResetError)):
+                raise
+            message = f"flow execution failed: {exc}"
+            if streamed_headers:
+                self._write_event("error", {"schema": SERVER_SCHEMA,
+                                            "error": message, "status": 500})
+                self.server.count("errors")
+            else:
+                self._send_error_json(500, message)
+            return
+        sources = {info.source for info in result.stages
+                   if info.stage != "circuit"}
+        source = "cache" if sources <= {"cache", "memory"} else "computed"
+        document = {
+            "schema": SERVER_SCHEMA,
+            "key": entry.key,
+            "source": source,
+            "config_fingerprint": config.fingerprint(),
+            "result": result.summary(),
+        }
+        self.server.memo_put(entry.key, document)
+        self.server.inflight.complete(entry, document)
+        self.server.count(f"served_{source}")
+        if streamed_headers:
+            self._write_event("result", document)
+        else:
+            self._send_json(200, document)
+
+    def _follow(self, config: FlowConfig, entry: Computation,
+                stream: bool) -> None:
+        """Attach to a concurrent identical computation."""
+        subscription = entry.subscribe() if stream else None
+        if stream:
+            self._start_stream()
+            for kind, payload in entry.events(subscription):
+                self._write_event(kind, payload)
+        else:
+            entry.wait()
+        try:
+            document = entry.outcome()
+        except BaseException as exc:
+            message = f"flow execution failed: {exc}"
+            if stream:
+                self._write_event("error", {"schema": SERVER_SCHEMA,
+                                            "error": message, "status": 500})
+                self.server.count("errors")
+            else:
+                self._send_error_json(500, message)
+            return
+        document = dict(document, source="inflight",
+                        config_fingerprint=config.fingerprint())
+        self.server.count("served_inflight")
+        if stream:
+            self._write_event("result", document)
+        else:
+            self._send_json(200, document)
+
+    # -- SSE-style streaming -------------------------------------------------
+
+    def _start_stream(self) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-store")
+        # Stream length is unknown; close delimits the body (HTTP/1.1
+        # without Content-Length), so tell the client not to reuse it.
+        self.send_header("Connection", "close")
+        self.close_connection = True
+        self.end_headers()
+
+    def _write_event(self, kind: str, payload: Dict[str, Any]) -> None:
+        try:
+            chunk = f"event: {kind}\ndata: {json.dumps(payload)}\n\n"
+            self.wfile.write(chunk.encode("utf-8"))
+            self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            # Consumer went away mid-stream; the computation (shared
+            # with other requests) must keep going.
+            pass
+
+    def _stream_events(self, events, document: Dict[str, Any]) -> None:
+        self._start_stream()
+        for kind, payload in events:
+            self._write_event(kind, payload)
+        self._write_event("result", document)
+
+
+def serve_forever(server: FlowServer) -> None:
+    """Run the accept loop until :meth:`FlowServer.shutdown` (thin alias
+    kept for symmetry with :func:`start_in_thread`)."""
+    server.serve_forever()
+
+
+def start_in_thread(server: FlowServer) -> threading.Thread:
+    """Run the accept loop on a daemon thread (tests, benchmarks)."""
+    thread = threading.Thread(target=server.serve_forever,
+                              name="flow-server", daemon=True)
+    thread.start()
+    return thread

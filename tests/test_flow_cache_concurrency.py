@@ -1,0 +1,246 @@
+"""ArtifactCache under concurrency: the put race, locking, the ledger.
+
+Regression suite for the race observable before per-key locking: two
+writers of the same key could both tempfile-rename.  ``put`` is now
+put-if-absent under an on-disk per-key lock, so hammering one key from a
+thread pool writes the payload exactly once and readers never observe a
+torn or foreign document.
+"""
+
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.flow import ArtifactCache
+
+KEY = "f" * 64
+PAYLOAD = {"rows": list(range(64)), "label": "x" * 256}
+
+
+class TestPutRace:
+    def test_hammered_key_written_exactly_once(self, tmp_path):
+        """32 racing writers of one key: one write, the rest dedupe."""
+        cache = ArtifactCache(tmp_path)
+        barrier = threading.Barrier(16)
+
+        def writer(_):
+            barrier.wait()
+            return cache.put("u", KEY, PAYLOAD)
+
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            paths = list(pool.map(writer, range(16)))
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            paths += list(pool.map(writer, range(16)))
+
+        assert len(set(paths)) == 1
+        counters = cache.counters()
+        assert counters["puts_written"] == 1, counters
+        assert counters["puts_deduped"] == 31, counters
+        assert cache.get("u", KEY) == PAYLOAD
+
+    def test_no_corrupt_reads_while_hammering(self, tmp_path):
+        """Concurrent readers see None or the exact payload, never junk."""
+        cache = ArtifactCache(tmp_path)
+        observed = []
+        stop = threading.Event()
+
+        def reader():
+            local = ArtifactCache(tmp_path)
+            while not stop.is_set():
+                value = local.get("u", KEY)
+                if value is not None and value != PAYLOAD:
+                    observed.append(value)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                list(pool.map(
+                    lambda i: cache.put("u", KEY, PAYLOAD, replace=True),
+                    range(200),
+                ))
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert observed == []
+        # Exactly one well-formed document on disk.
+        document = json.loads((tmp_path / "u" / f"{KEY}.json").read_text())
+        assert document["key"] == KEY
+        assert document["payload"] == PAYLOAD
+
+    def test_distinct_keys_do_not_contend_results(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        keys = [format(i, "064x") for i in range(24)]
+        with ThreadPoolExecutor(max_workers=12) as pool:
+            list(pool.map(
+                lambda k: cache.put("adi", k, {"key": k}), keys
+            ))
+        assert cache.counters()["puts_written"] == 24
+        for key in keys:
+            assert cache.get("adi", key) == {"key": key}
+
+    def test_cross_process_single_write(self, tmp_path):
+        """Two processes racing one key: the artifact survives intact."""
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        src = str(Path(repro.__file__).resolve().parents[1])
+        script = (
+            "import sys\n"
+            "from repro.flow import ArtifactCache\n"
+            "cache = ArtifactCache(sys.argv[1])\n"
+            "for _ in range(50):\n"
+            "    cache.put('u', 'e' * 64, {'payload': list(range(100))})\n"
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(tmp_path)],
+                env={"PYTHONPATH": src, "PATH": ""},
+            )
+            for _ in range(2)
+        ]
+        for proc in procs:
+            assert proc.wait() == 0
+        assert ArtifactCache(tmp_path).get("u", "e" * 64) == {
+            "payload": list(range(100))
+        }
+
+
+class TestReplaceAndDelete:
+    def test_replace_overwrites(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("u", KEY, {"v": 1})
+        cache.put("u", KEY, {"v": 2})  # deduped: same key, no overwrite
+        assert cache.get("u", KEY) == {"v": 1}
+        cache.put("u", KEY, {"v": 3}, replace=True)
+        assert cache.get("u", KEY) == {"v": 3}
+
+    def test_delete(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("u", KEY, {"v": 1})
+        assert cache.delete("u", KEY) is True
+        assert cache.delete("u", KEY) is False
+        assert cache.get("u", KEY) is None
+
+    def test_put_after_corrupt_get_rewrites(self, tmp_path):
+        """get() deletes a corrupt file, so a dedup-put can land again."""
+        cache = ArtifactCache(tmp_path)
+        path = cache.put("u", KEY, {"v": 1})
+        path.write_text("garbage{{{")
+        assert cache.get("u", KEY) is None
+        cache.put("u", KEY, {"v": 2})
+        assert cache.get("u", KEY) == {"v": 2}
+
+
+class TestCountersAndLedger:
+    def test_hit_miss_counters(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.get("u", KEY) is None
+        cache.put("u", KEY, PAYLOAD)
+        assert cache.get("u", KEY) == PAYLOAD
+        counters = cache.counters()
+        assert counters["misses"] == 1
+        assert counters["hits"] == 1
+        assert counters["puts_written"] == 1
+
+    def test_ledger_records_accesses(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("u", KEY, PAYLOAD)
+        cache.get("u", KEY)
+        lines = [json.loads(line) for line in
+                 (tmp_path / "ledger.jsonl").read_text().splitlines()]
+        assert [entry["event"] for entry in lines] == ["put", "hit"]
+        assert all(entry["key"] == KEY for entry in lines)
+
+    def test_ledger_disabled(self, tmp_path):
+        cache = ArtifactCache(tmp_path, ledger=False)
+        cache.put("u", KEY, PAYLOAD)
+        cache.get("u", KEY)
+        assert not (tmp_path / "ledger.jsonl").exists()
+
+    def test_lock_and_ledger_files_invisible_to_stats(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("u", KEY, PAYLOAD)
+        cache.get("u", KEY)
+        stats = cache.stats()
+        assert stats["total_files"] == 1
+        assert set(stats["stages"]) == {"u"}
+
+    def test_torn_ledger_line_ignored(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("u", KEY, PAYLOAD)
+        ledger = tmp_path / "ledger.jsonl"
+        ledger.write_text(ledger.read_text() + '{"event": "hi')  # killed
+        times = cache._ledger_access_times()
+        assert ("u", KEY) in times
+
+
+class TestLruPrune:
+    def _fill(self, cache, count, size=200):
+        keys = [format(i, "064x") for i in range(count)]
+        for key in keys:
+            cache.put("u", key, {"pad": "x" * size, "k": key})
+        return keys
+
+    def test_prune_to_budget_keeps_recent(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        keys = self._fill(cache, 6)
+        # Touch the first two again: they become the most recently used.
+        cache.get("u", keys[0])
+        cache.get("u", keys[1])
+        sizes = {p.name: p.stat().st_size
+                 for p in (tmp_path / "u").glob("*.json")}
+        budget = sum(sorted(sizes.values())[:3])
+        cache.prune(max_bytes=budget)
+        assert cache.stats()["total_bytes"] <= budget
+        assert cache.get("u", keys[0]) == {"pad": "x" * 200, "k": keys[0]}
+        assert cache.get("u", keys[1]) == {"pad": "x" * 200, "k": keys[1]}
+        assert cache.get("u", keys[2]) is None  # LRU victim
+
+    def test_prune_without_budget_clears_everything(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        self._fill(cache, 4)
+        assert cache.prune() == 4
+        assert cache.stats()["total_files"] == 0
+        assert not (tmp_path / "ledger.jsonl").exists()
+
+    def test_prune_stage_scoped_compacts_ledger(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("u", "a" * 64, {"v": 1})
+        cache.put("adi", "b" * 64, {"v": 2})
+        assert cache.prune(stage="u") == 1
+        times = cache._ledger_access_times()
+        assert ("u", "a" * 64) not in times
+        assert ("adi", "b" * 64) in times
+
+    def test_prune_budget_zero_removes_all(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        self._fill(cache, 3)
+        assert cache.prune(max_bytes=0) == 3
+        assert cache.stats()["total_files"] == 0
+
+    def test_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArtifactCache(tmp_path).prune(max_bytes=-1)
+
+    def test_mtime_fallback_without_ledger(self, tmp_path):
+        import os
+        import time
+
+        cache = ArtifactCache(tmp_path, ledger=False)
+        keys = self._fill(cache, 3)
+        now = time.time()
+        for i, key in enumerate(keys):
+            path = tmp_path / "u" / f"{key}.json"
+            os.utime(path, (now - 100 + i, now - 100 + i))
+        one = (tmp_path / "u" / f"{keys[0]}.json").stat().st_size
+        cache.prune(max_bytes=one)
+        assert cache.get("u", keys[2]) is not None  # newest mtime survives
+        assert cache.get("u", keys[0]) is None

@@ -1,0 +1,387 @@
+"""The flow server: request dedupe, HTTP scenarios, streaming, drain.
+
+Concurrency suite for :mod:`repro.flow.server`:
+
+* N threads POSTing one identical config execute the underlying flow
+  exactly once (instrumented with a counting ``flow_factory`` whose
+  leader blocks until every duplicate request has coalesced);
+* distinct configs proceed in parallel (their executions overlap in
+  time, proven with a barrier inside the counting hook);
+* the end-to-end HTTP lifecycle: cold → warm → malformed (400) →
+  oversized (413) → drain (503), plus streaming and ``/stats``.
+
+Slow full-lifecycle scenarios carry the ``server`` marker
+(``-m 'not server'`` deselects them).
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.flow import CircuitSpec, Flow, FlowConfig, USpec
+from repro.flow.server import FlowServer, start_in_thread
+
+
+def tiny_config(gen_seed: int = 1) -> FlowConfig:
+    return FlowConfig(
+        circuit=CircuitSpec(kind="generator", name=f"srv{gen_seed}",
+                            num_inputs=8, num_gates=40, num_outputs=4,
+                            gen_seed=gen_seed),
+        u=USpec(max_vectors=256),
+        seed=3,
+    )
+
+
+@pytest.fixture
+def server_factory(tmp_path):
+    """Start FlowServers on ephemeral ports; all stopped at teardown."""
+    started = []
+
+    def start(**kwargs) -> FlowServer:
+        kwargs.setdefault("cache", tmp_path / "cache")
+        server = FlowServer(("127.0.0.1", 0), **kwargs)
+        start_in_thread(server)
+        started.append(server)
+        return server
+
+    yield start
+    for server in started:
+        server.shutdown()
+        server.server_close()
+
+
+def base_url(server: FlowServer) -> str:
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}"
+
+
+def post_run(server: FlowServer, config: FlowConfig, query: str = ""):
+    request = urllib.request.Request(
+        base_url(server) + "/run" + query,
+        data=json.dumps(config.to_dict()).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return response.status, json.loads(response.read())
+
+
+def get_json(server: FlowServer, path: str):
+    with urllib.request.urlopen(base_url(server) + path,
+                                timeout=60) as response:
+        return response.status, json.loads(response.read())
+
+
+def error_of(callable_):
+    """Run a request expected to fail; returns (status, error document)."""
+    with pytest.raises(urllib.error.HTTPError) as info:
+        callable_()
+    return info.value.code, json.loads(info.value.read())
+
+
+def parse_sse(text: str):
+    """[(event, payload), ...] from an SSE body."""
+    events = []
+    for block in text.strip().split("\n\n"):
+        kind, data = None, None
+        for line in block.splitlines():
+            if line.startswith("event: "):
+                kind = line[len("event: "):]
+            elif line.startswith("data: "):
+                data = json.loads(line[len("data: "):])
+        if kind is not None:
+            events.append((kind, data))
+    return events
+
+
+class CountingFlows:
+    """A ``flow_factory`` that counts real executions.
+
+    Only flows handed an observer are *run* candidates (the server's
+    key-probe flows pass ``observer=None`` and never execute).  The
+    optional ``gate`` callback runs at the top of each execution — used
+    to hold the leader until duplicates have coalesced, or to prove two
+    executions overlap.
+    """
+
+    def __init__(self, cache, gate=None):
+        self.cache = cache
+        self.gate = gate
+        self.runs = 0
+        self._lock = threading.Lock()
+        counter = self
+
+        class CountingFlow(Flow):
+            """Test double: Flow whose run() reports to the counter."""
+
+            def run(self, order=None):
+                with counter._lock:
+                    counter.runs += 1
+                if counter.gate is not None:
+                    counter.gate()
+                return super().run(order)
+
+        self._flow_type = CountingFlow
+
+    def __call__(self, config, observer):
+        return self._flow_type(config, cache=self.cache, observer=observer)
+
+
+class TestConcurrentDedupe:
+    N = 8
+
+    def test_identical_requests_execute_exactly_once(self, tmp_path,
+                                                     server_factory):
+        """The headline invariant: N equal concurrent POSTs, one run."""
+        holder = {}
+
+        def gate():
+            # Leader: wait until every other request has coalesced, so
+            # none of them can miss the in-flight entry and recompute.
+            deadline = time.monotonic() + 10
+            while (holder["server"].inflight.stats()["deduped_total"]
+                   < self.N - 1):
+                if time.monotonic() > deadline:
+                    raise AssertionError("duplicates never coalesced")
+                time.sleep(0.005)
+
+        counting = CountingFlows(tmp_path / "cache", gate=gate)
+        server = server_factory(flow_factory=counting)
+        holder["server"] = server
+        config = tiny_config()
+        barrier = threading.Barrier(self.N)
+
+        def request(_):
+            barrier.wait()
+            return post_run(server, config)
+
+        with ThreadPoolExecutor(max_workers=self.N) as pool:
+            responses = list(pool.map(request, range(self.N)))
+
+        assert counting.runs == 1
+        assert all(status == 200 for status, _ in responses)
+        documents = [doc for _, doc in responses]
+        assert len({doc["key"] for doc in documents}) == 1
+        sources = sorted(doc["source"] for doc in documents)
+        assert sources.count("computed") == 1
+        assert sources.count("inflight") == self.N - 1
+        for doc in documents:
+            assert doc["result"]["schema"] == "repro.flow/v1"
+            assert doc["result"]["tests"]["count"] > 0
+        assert len({json.dumps(doc["result"], sort_keys=True)
+                    for doc in documents}) == 1
+        stats = get_json(server, "/stats")[1]
+        assert stats["dedupe"]["deduped_total"] == self.N - 1
+        assert stats["requests"]["served_inflight"] == self.N - 1
+
+    def test_distinct_configs_proceed_in_parallel(self, tmp_path,
+                                                  server_factory):
+        """Two different configs must overlap, not serialize."""
+        overlap = threading.Barrier(2)
+
+        def gate():
+            # Both executions must reach this point at the same time —
+            # if the server serialized them, this times out.
+            overlap.wait(timeout=30)
+
+        counting = CountingFlows(tmp_path / "cache", gate=gate)
+        server = server_factory(flow_factory=counting)
+        configs = [tiny_config(gen_seed=1), tiny_config(gen_seed=2)]
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            responses = list(pool.map(
+                lambda config: post_run(server, config), configs
+            ))
+
+        assert counting.runs == 2
+        assert [doc["source"] for _, doc in responses] == \
+            ["computed", "computed"]
+        assert responses[0][1]["key"] != responses[1][1]["key"]
+
+    def test_sequential_identical_requests_hit_cache(self, server_factory):
+        server = server_factory()
+        config = tiny_config()
+        assert post_run(server, config)[1]["source"] == "computed"
+        assert post_run(server, config)[1]["source"] == "cache"
+
+    def test_backend_choice_shares_one_key(self, server_factory):
+        """Backends are bit-identical: they dedupe onto one computation."""
+        server = server_factory()
+        config = tiny_config()
+        from repro.flow import BackendSpec
+
+        first = post_run(server, config)[1]
+        second = post_run(
+            server, config.replace(backend=BackendSpec(fsim="numpy"))
+        )[1]
+        assert first["key"] == second["key"]
+        assert second["source"] == "cache"
+        assert first["config_fingerprint"] != second["config_fingerprint"]
+
+
+class TestRequestValidation:
+    def _post_raw(self, server, body: bytes, headers=None):
+        request = urllib.request.Request(
+            base_url(server) + "/run", data=body, headers=headers or {}
+        )
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+
+    def test_malformed_json_400(self, server_factory):
+        server = server_factory()
+        status, doc = error_of(lambda: self._post_raw(server, b"{oops"))
+        assert status == 400
+        assert "not valid JSON" in doc["error"]
+
+    def test_invalid_config_400(self, server_factory):
+        server = server_factory()
+        status, doc = error_of(
+            lambda: self._post_raw(server, b'{"typo_section": {}}')
+        )
+        assert status == 400
+        assert "typo_section" in doc["error"]
+
+    def test_bench_config_refused_by_default(self, server_factory):
+        server = server_factory()
+        config = FlowConfig(circuit=CircuitSpec(
+            kind="bench", name="x", path="/etc/hostname"))
+        status, doc = error_of(lambda: post_run(server, config))
+        assert status == 400
+        assert "bench" in doc["error"]
+
+    def test_oversized_body_413(self, server_factory):
+        server = server_factory(max_body=512)
+        body = json.dumps(dict(tiny_config().to_dict(),
+                               version=1)).encode() + b" " * 600
+        status, doc = error_of(lambda: self._post_raw(server, body))
+        assert status == 413
+        assert "exceeds limit" in doc["error"]
+
+    def test_unknown_path_404(self, server_factory):
+        server = server_factory()
+        status, _ = error_of(lambda: get_json(server, "/nope"))
+        assert status == 404
+        status, _ = error_of(lambda: post_to(server, "/other"))
+        assert status == 404
+
+
+def post_to(server, path: str):
+    request = urllib.request.Request(
+        base_url(server) + path, data=b"{}")
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestStreaming:
+    def _stream(self, server, config, query="?stream=1"):
+        request = urllib.request.Request(
+            base_url(server) + "/run" + query,
+            data=json.dumps(config.to_dict()).encode(),
+        )
+        with urllib.request.urlopen(request, timeout=60) as response:
+            assert response.headers["Content-Type"] == "text/event-stream"
+            return parse_sse(response.read().decode())
+
+    def test_cold_stream_emits_stages_then_result(self, server_factory):
+        server = server_factory()
+        events = self._stream(server, tiny_config())
+        kinds = [kind for kind, _ in events]
+        assert kinds[-1] == "result"
+        stage_names = [payload["stage"] for kind, payload in events
+                       if kind == "stage"]
+        assert stage_names == ["circuit", "faults", "u", "adi",
+                               "order:0dynm", "testgen:0dynm", "curve:0dynm"]
+        result = events[-1][1]
+        assert result["source"] == "computed"
+        assert result["result"]["schema"] == "repro.flow/v1"
+
+    def test_warm_stream_replays_from_memo(self, server_factory):
+        server = server_factory()
+        post_run(server, tiny_config())
+        events = self._stream(server, tiny_config())
+        assert events[-1][1]["source"] == "cache"
+        assert [kind for kind, _ in events].count("stage") == 7
+
+
+@pytest.mark.server
+class TestEndToEndLifecycle:
+    """The full cold → warm → errors → drain request lifecycle."""
+
+    def test_lifecycle(self, tmp_path, server_factory):
+        cache_dir = tmp_path / "cache"
+        server = server_factory(cache=cache_dir, max_body=4096)
+        config = tiny_config()
+
+        # Cold: everything computed.
+        status, cold = post_run(server, config)
+        assert status == 200 and cold["source"] == "computed"
+
+        # Warm: same process answers from the result memo.
+        status, warm = post_run(server, config)
+        assert status == 200 and warm["source"] == "cache"
+        assert warm["result"]["tests"] == cold["result"]["tests"]
+
+        # Warm across a restart: a fresh server (empty memo) still
+        # serves from the on-disk artifact cache without computing.
+        restarted = server_factory(cache=cache_dir, max_body=4096)
+        status, rewarm = post_run(restarted, config)
+        assert status == 200 and rewarm["source"] == "cache"
+        assert rewarm["key"] == cold["key"]
+
+        # Invalid config → 400.
+        request = urllib.request.Request(
+            base_url(restarted) + "/run", data=b'{"u": {"max_vectors": 0}}')
+        status, doc = error_of(
+            lambda: urllib.request.urlopen(request, timeout=60))
+        assert status == 400
+
+        # Oversized body → 413.
+        big = json.dumps(config.to_dict()).encode() + b" " * 5000
+        request = urllib.request.Request(
+            base_url(restarted) + "/run", data=big)
+        status, doc = error_of(
+            lambda: urllib.request.urlopen(request, timeout=60))
+        assert status == 413
+
+        # /stats reflects the traffic.
+        stats = get_json(restarted, "/stats")[1]
+        assert stats["requests"]["served_cache"] >= 1
+        assert stats["cache"]["files"] > 0
+
+    def test_shutdown_drain(self, tmp_path, server_factory):
+        """Draining: in-flight runs finish; new runs get 503."""
+        release = threading.Event()
+        entered = threading.Event()
+
+        def gate():
+            entered.set()
+            assert release.wait(timeout=30)
+
+        counting = CountingFlows(tmp_path / "cache", gate=gate)
+        server = server_factory(flow_factory=counting)
+        config = tiny_config()
+
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            inflight = pool.submit(post_run, server, config)
+            assert entered.wait(timeout=30)
+            server.begin_drain()
+
+            # New work refused while draining.
+            status, doc = error_of(lambda: post_run(server, tiny_config(9)))
+            assert status == 503
+            assert get_json(server, "/healthz")[1]["status"] == "draining"
+
+            # The in-flight run still completes.
+            release.set()
+            status, doc = inflight.result(timeout=30)
+            assert status == 200 and doc["source"] == "computed"
+
+        assert server.drain(timeout=10) is True
+
+    def test_healthz_ok(self, server_factory):
+        server = server_factory()
+        assert get_json(server, "/healthz")[1]["status"] == "ok"
