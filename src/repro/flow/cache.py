@@ -226,20 +226,28 @@ class ArtifactCache:
                 continue  # torn tail line from a killed appender
         return times
 
-    def _ledger_rewrite(self,
-                        times: Dict[Tuple[str, str], float]) -> None:
-        """Compact the ledger to one line per surviving artifact."""
+    def _ledger_compact(self, dropped) -> None:
+        """Compact the ledger to one line per surviving artifact.
+
+        ``dropped`` is a predicate over ``(stage, key)`` pairs naming the
+        entries to discard.  The ledger is re-read *inside* the ledger
+        lock — the same lock :meth:`_ledger_append` takes — so hit/put
+        lines appended by concurrent threads between the caller's
+        snapshot and this rewrite are preserved, not silently lost.
+        """
         if not self.ledger_enabled:
             return
         path = self._ledger_path()
-        lines = [
-            canonical_json({"event": "hit", "stage": stage, "key": key,
-                            "ts": ts})
-            for (stage, key), ts in sorted(times.items(),
-                                           key=lambda item: item[1])
-        ]
         try:
             with _FileLock(path.with_suffix(".lock")):
+                times = self._ledger_access_times()
+                lines = [
+                    canonical_json({"event": "hit", "stage": stage,
+                                    "key": key, "ts": ts})
+                    for (stage, key), ts in sorted(times.items(),
+                                                   key=lambda item: item[1])
+                    if not dropped((stage, key))
+                ]
                 tmp = path.with_suffix(".tmp")
                 tmp.write_text("".join(line + "\n" for line in lines))
                 os.replace(tmp, path)
@@ -365,9 +373,12 @@ class ArtifactCache:
         total_files = 0
         total_bytes = 0
         for path in self._artifact_files():
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue  # unlinked by a concurrent prune between glob/stat
             stage = path.parent.name
             entry = stages.setdefault(stage, {"files": 0, "bytes": 0})
-            size = path.stat().st_size
             entry["files"] += 1
             entry["bytes"] += size
             total_files += 1
@@ -405,11 +416,7 @@ class ArtifactCache:
                 except OSError:
                     pass
             else:
-                times = self._ledger_access_times()
-                survivors = {sk: ts for sk, ts in times.items()
-                             if sk[0] != stage}
-                if len(survivors) != len(times):
-                    self._ledger_rewrite(survivors)
+                self._ledger_compact(lambda sk: sk[0] == stage)
             return removed
         if max_bytes < 0:
             raise ValueError("max_bytes must be >= 0")
@@ -439,8 +446,5 @@ class ArtifactCache:
             removed += 1
             evicted.add(stage_key_pair)
         if removed:
-            survivors = {
-                sk: ts for sk, ts in times.items() if sk not in evicted
-            }
-            self._ledger_rewrite(survivors)
+            self._ledger_compact(evicted.__contains__)
         return removed

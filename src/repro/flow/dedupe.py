@@ -46,12 +46,19 @@ class Computation:
         self._subscribers: List["queue.SimpleQueue[Any]"] = []
 
     def publish(self, event: Any) -> None:
-        """Record one progress event and fan it out to subscribers."""
+        """Record one progress event and fan it out to subscribers.
+
+        Events are enqueued under the lock (``SimpleQueue.put`` never
+        blocks) so the ``DONE`` sentinel :meth:`finish` appends is
+        always the last item a subscriber sees; a publish after finish
+        is dropped rather than enqueued behind the closed stream.
+        """
         with self._lock:
+            if self.done.is_set():
+                return
             self._events.append(event)
-            subscribers = list(self._subscribers)
-        for q in subscribers:
-            q.put(event)
+            for q in self._subscribers:
+                q.put(event)
 
     def subscribe(self) -> "queue.SimpleQueue[Any]":
         """A queue yielding every event (past and future), then the

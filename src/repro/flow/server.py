@@ -29,9 +29,11 @@ Endpoints (all JSON):
   totals, memo occupancy, drain state.
 * ``GET /healthz`` — ``{"status": "ok"}``, or ``"draining"``.
 
-Requests whose body exceeds ``max_body`` get 413; malformed JSON or an
-invalid config gets 400 naming the problem; a draining server rejects
-new runs with 503 (``Retry-After``) while in-flight runs finish.  By
+Requests whose body exceeds ``max_body`` get 413; malformed JSON, a bad
+``Content-Length`` or an invalid config gets 400 naming the problem; a
+draining server rejects new runs with 503 (``Retry-After``) while
+in-flight runs finish; with ``follower_timeout`` set, a coalesced
+request that outwaits it gets 504 instead of blocking on the leader.  By
 default configs that read local files (``circuit.kind == "bench"``) are
 refused — the service executes network input — unless constructed with
 ``allow_bench=True`` (``repro serve --allow-bench``).
@@ -67,10 +69,13 @@ class FlowServer(ThreadingHTTPServer):
     """The threaded flow service; see the module docstring for the API.
 
     ``cache`` is an :class:`~repro.flow.cache.ArtifactCache`, a root
-    path, or ``None`` for memo-and-dedupe-only service.  ``flow_factory``
-    (signature ``(config, observer) -> Flow``) exists for tests to
-    instrument flow construction — e.g. counting real executions under
-    concurrent identical requests.
+    path, or ``None`` for memo-and-dedupe-only service.
+    ``follower_timeout`` bounds how long a coalesced (non-streaming)
+    request waits for the leader's result before answering 504
+    (``None`` — the default — waits as long as the leader computes).
+    ``flow_factory`` (signature ``(config, observer) -> Flow``) exists
+    for tests to instrument flow construction — e.g. counting real
+    executions under concurrent identical requests.
     """
 
     daemon_threads = True
@@ -81,6 +86,7 @@ class FlowServer(ThreadingHTTPServer):
                  allow_bench: bool = False,
                  memo_size: int = 128,
                  quiet: bool = True,
+                 follower_timeout: Optional[float] = None,
                  flow_factory=None):
         super().__init__(address, FlowRequestHandler)
         if cache is None or isinstance(cache, ArtifactCache):
@@ -89,6 +95,7 @@ class FlowServer(ThreadingHTTPServer):
             self.cache = ArtifactCache(cache)
         self.max_body = max_body
         self.allow_bench = allow_bench
+        self.follower_timeout = follower_timeout
         self.quiet = quiet
         self.flow_factory = flow_factory or self._default_flow_factory
         self.inflight = InflightTable()
@@ -251,6 +258,10 @@ class FlowRequestHandler(BaseHTTPRequestHandler):
             length = int(length_header)
         except ValueError:
             raise _HTTPError(400, "malformed Content-Length")
+        if length < 0:
+            # A negative length would make rfile.read() consume until
+            # EOF — an unbounded body sneaking past the 413 ceiling.
+            raise _HTTPError(400, "malformed Content-Length")
         if length > self.server.max_body:
             # Close rather than read an arbitrarily large body.
             self.close_connection = True
@@ -346,52 +357,75 @@ class FlowRequestHandler(BaseHTTPRequestHandler):
 
     def _lead(self, config: FlowConfig, entry: Computation,
               stream: bool) -> None:
-        """Run the flow, publishing stage events; respond and memoize."""
-        streamed_headers = False
-        if stream:
-            self._start_stream()
-            streamed_headers = True
+        """Run the flow, publishing stage events; respond and memoize.
 
-        def observer(info) -> None:
-            event = ("stage", info.to_dict())
-            entry.publish(event)
-            if stream:
-                # The observer runs in this handler thread mid-flow, so
-                # writing here streams progress as each stage finishes.
-                self._write_event(*event)
+        Every exit path retires the inflight entry exactly once: a
+        leader that died without completing (a client disconnect before
+        the stream headers, a failure building the response document)
+        would otherwise leave the key leased forever, and every later
+        identical request would block on the dead entry.
+        """
+        completed = False
+
+        def complete(document: Optional[Dict[str, Any]] = None,
+                     exception: Optional[BaseException] = None) -> None:
+            nonlocal completed
+            if not completed:
+                completed = True
+                self.server.inflight.complete(entry, document,
+                                              exception=exception)
 
         try:
-            flow = self.server.flow_factory(config, observer)
-            result = flow.run()
-        except BaseException as exc:
-            self.server.inflight.complete(entry, exception=exc)
-            if isinstance(exc, (BrokenPipeError, ConnectionResetError)):
-                raise
-            message = f"flow execution failed: {exc}"
+            streamed_headers = False
+            if stream:
+                self._start_stream()
+                streamed_headers = True
+
+            def observer(info) -> None:
+                event = ("stage", info.to_dict())
+                entry.publish(event)
+                if stream:
+                    # The observer runs in this handler thread mid-flow, so
+                    # writing here streams progress as each stage finishes.
+                    self._write_event(*event)
+
+            try:
+                flow = self.server.flow_factory(config, observer)
+                result = flow.run()
+                sources = {info.source for info in result.stages
+                           if info.stage != "circuit"}
+                source = ("cache" if sources <= {"cache", "memory"}
+                          else "computed")
+                document = {
+                    "schema": SERVER_SCHEMA,
+                    "key": entry.key,
+                    "source": source,
+                    "config_fingerprint": config.fingerprint(),
+                    "result": result.summary(),
+                }
+            except BaseException as exc:
+                complete(exception=exc)
+                if isinstance(exc, (BrokenPipeError, ConnectionResetError)):
+                    raise
+                message = f"flow execution failed: {exc}"
+                if streamed_headers:
+                    self._write_event("error", {"schema": SERVER_SCHEMA,
+                                                "error": message,
+                                                "status": 500})
+                    self.server.count("errors")
+                else:
+                    self._send_error_json(500, message)
+                return
+            self.server.memo_put(entry.key, document)
+            complete(document)
+            self.server.count(f"served_{source}")
             if streamed_headers:
-                self._write_event("error", {"schema": SERVER_SCHEMA,
-                                            "error": message, "status": 500})
-                self.server.count("errors")
+                self._write_event("result", document)
             else:
-                self._send_error_json(500, message)
-            return
-        sources = {info.source for info in result.stages
-                   if info.stage != "circuit"}
-        source = "cache" if sources <= {"cache", "memory"} else "computed"
-        document = {
-            "schema": SERVER_SCHEMA,
-            "key": entry.key,
-            "source": source,
-            "config_fingerprint": config.fingerprint(),
-            "result": result.summary(),
-        }
-        self.server.memo_put(entry.key, document)
-        self.server.inflight.complete(entry, document)
-        self.server.count(f"served_{source}")
-        if streamed_headers:
-            self._write_event("result", document)
-        else:
-            self._send_json(200, document)
+                self._send_json(200, document)
+        except BaseException as exc:
+            complete(exception=exc)
+            raise
 
     def _follow(self, config: FlowConfig, entry: Computation,
                 stream: bool) -> None:
@@ -402,7 +436,10 @@ class FlowRequestHandler(BaseHTTPRequestHandler):
             for kind, payload in entry.events(subscription):
                 self._write_event(kind, payload)
         else:
-            entry.wait()
+            if not entry.wait(self.server.follower_timeout):
+                self._send_error_json(
+                    504, "timed out waiting for the in-flight computation")
+                return
         try:
             document = entry.outcome()
         except BaseException as exc:

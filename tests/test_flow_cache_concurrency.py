@@ -181,6 +181,32 @@ class TestCountersAndLedger:
         times = cache._ledger_access_times()
         assert ("u", KEY) in times
 
+    def test_stats_tolerates_concurrent_unlink(self, tmp_path):
+        """A file unlinked between glob and stat (a racing prune) is
+        skipped, not raised — /stats must never crash mid-prune."""
+        cache = ArtifactCache(tmp_path)
+        cache.put("u", KEY, PAYLOAD)
+        real = list(cache._artifact_files())
+        ghost = tmp_path / "u" / f"{'0' * 64}.json"  # never created
+        cache._artifact_files = lambda stage=None: iter(real + [ghost])
+        stats = cache.stats()
+        assert stats["total_files"] == len(real)
+
+    def test_ledger_compaction_preserves_concurrent_appends(self, tmp_path):
+        """Lines appended after a pruner's snapshot survive compaction:
+        _ledger_compact re-reads the ledger under the ledger lock."""
+        cache = ArtifactCache(tmp_path)
+        cache.put("u", "a" * 64, {"v": 1})
+        cache.put("u", "b" * 64, {"v": 2})
+        # Emulate a server thread recording a hit for a new artifact in
+        # the window between prune's LRU snapshot and its rewrite.
+        cache._ledger_append("hit", "u", "c" * 64)
+        cache._ledger_compact(lambda sk: sk == ("u", "a" * 64))
+        times = cache._ledger_access_times()
+        assert ("u", "a" * 64) not in times
+        assert ("u", "b" * 64) in times
+        assert ("u", "c" * 64) in times
+
 
 class TestLruPrune:
     def _fill(self, cache, count, size=200):

@@ -15,6 +15,7 @@ Slow full-lifecycle scenarios carry the ``server`` marker
 """
 
 import json
+import socket
 import threading
 import time
 import urllib.error
@@ -24,6 +25,7 @@ from concurrent.futures import ThreadPoolExecutor
 import pytest
 
 from repro.flow import CircuitSpec, Flow, FlowConfig, USpec
+from repro.flow.dedupe import Computation
 from repro.flow.server import FlowServer, start_in_thread
 
 
@@ -268,12 +270,109 @@ class TestRequestValidation:
         status, _ = error_of(lambda: post_to(server, "/other"))
         assert status == 404
 
+    def test_negative_content_length_400(self, server_factory):
+        """Content-Length: -1 must be rejected, not passed to
+        rfile.read(-1) (which would stream an unbounded body)."""
+        server = server_factory()
+        host, port = server.server_address[:2]
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(b"POST /run HTTP/1.1\r\nHost: t\r\n"
+                         b"Content-Length: -1\r\n\r\n")
+            sock.settimeout(10)
+            buf = b""
+            while b"malformed Content-Length" not in buf:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                buf += chunk
+        assert buf.startswith(b"HTTP/1.1 400")
+        assert b"malformed Content-Length" in buf
+
 
 def post_to(server, path: str):
     request = urllib.request.Request(
         base_url(server) + path, data=b"{}")
     with urllib.request.urlopen(request, timeout=60) as response:
         return response.status, json.loads(response.read())
+
+
+class _BrokenSummary:
+    """A FlowResult stand-in whose summary() raises mid-response."""
+
+    def __init__(self, stages):
+        self.stages = stages
+
+    def summary(self):
+        raise RuntimeError("document build failed")
+
+
+class TestLeaderCompletion:
+    """A leader must retire its inflight entry on *every* exit path —
+    a leaked entry wedges the key: all later identical requests would
+    lease it as followers and block forever."""
+
+    def test_failure_after_run_does_not_wedge_key(self, tmp_path,
+                                                  server_factory):
+        poison = {"remaining": 1}
+
+        class PoisonedFlow(Flow):
+            """Flow whose first result blows up during summary()."""
+
+            def run(self, order=None):
+                result = super().run(order)
+                if poison["remaining"]:
+                    poison["remaining"] -= 1
+                    return _BrokenSummary(result.stages)
+                return result
+
+        server = server_factory(
+            flow_factory=lambda config, observer: PoisonedFlow(
+                config, cache=tmp_path / "cache", observer=observer))
+        config = tiny_config()
+
+        status, doc = error_of(lambda: post_run(server, config))
+        assert status == 500
+        assert "document build failed" in doc["error"]
+        # The dead computation was retired, not leaked...
+        assert server.inflight.stats()["inflight"] == 0
+        # ...so the next identical request leads fresh and succeeds.
+        status, doc = post_run(server, config)
+        assert status == 200
+        assert doc["result"]["schema"] == "repro.flow/v1"
+
+    def test_follower_timeout_504(self, tmp_path, server_factory):
+        """A bounded follower answers 504 instead of waiting forever."""
+        release = threading.Event()
+        entered = threading.Event()
+
+        def gate():
+            entered.set()
+            assert release.wait(timeout=30)
+
+        counting = CountingFlows(tmp_path / "cache", gate=gate)
+        server = server_factory(flow_factory=counting,
+                                follower_timeout=0.1)
+        config = tiny_config()
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            leader = pool.submit(post_run, server, config)
+            assert entered.wait(timeout=30)
+            status, doc = error_of(lambda: post_run(server, config))
+            assert status == 504
+            release.set()
+            status, doc = leader.result(timeout=60)
+            assert status == 200 and doc["source"] == "computed"
+
+    def test_publish_after_finish_is_dropped(self):
+        """DONE is always the last item a subscriber sees; a late
+        publish racing finish() must not land behind the sentinel."""
+        computation = Computation("k")
+        subscription = computation.subscribe()
+        computation.publish(("stage", {"n": 1}))
+        computation.finish({"ok": True})
+        computation.publish(("stage", {"n": 2}))  # late: dropped
+        assert list(computation.events(subscription)) == \
+            [("stage", {"n": 1})]
+        assert computation.outcome() == {"ok": True}
 
 
 class TestStreaming:
