@@ -1,0 +1,112 @@
+"""Telemetry overhead gate: instrumentation must cost < 3% end to end.
+
+Runs one full uncached ADI flow (every stage computes, so every span,
+counter and histogram on the hot path fires) twice over: once with
+telemetry recording enabled (the default) and once force-disabled (the
+``REPRO_TELEMETRY=off`` fast path, flipped in-process via
+:func:`repro.telemetry.set_enabled`).  Each mode takes the *minimum* of
+several repetitions — the standard noise filter for wall-clock A/Bs —
+with alternating execution order so drift hits both modes equally.
+Records both times and the relative overhead to
+``results/telemetry_overhead.json`` and exits non-zero above the gate.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py
+
+Under pytest-benchmark (statistical timing of the instrumented run)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_telemetry_overhead.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.flow import CircuitSpec, Flow, FlowConfig, USpec
+from repro.telemetry import enabled, set_enabled
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "results" / \
+    "telemetry_overhead.json"
+
+#: Acceptance bar: instrumented may be at most this much slower.
+MAX_OVERHEAD = 0.03
+
+#: Repetitions per mode; each mode's time is the min over these.
+REPS = 5
+
+#: A mid-size uncached flow — big enough that a run is dominated by
+#: real pipeline work (the regime the gate protects), small enough for
+#: CI.
+CONFIG = FlowConfig(
+    circuit=CircuitSpec(kind="generator", name="bench_telemetry",
+                        num_inputs=14, num_gates=220, num_outputs=10,
+                        gen_seed=47, hardness=0.03),
+    u=USpec(max_vectors=2048),
+    seed=2005,
+)
+
+
+def _timed_run() -> float:
+    started = time.perf_counter()
+    Flow(CONFIG).run()
+    return time.perf_counter() - started
+
+
+def run_benchmark() -> dict:
+    """Alternating instrumented/disabled reps; returns the record."""
+    assert enabled(), "run this benchmark with telemetry on (the default)"
+    on_times, off_times = [], []
+    try:
+        _timed_run()  # one untimed warm-up (imports, numpy first-touch)
+        for _ in range(REPS):
+            set_enabled(True)
+            on_times.append(_timed_run())
+            set_enabled(False)
+            off_times.append(_timed_run())
+    finally:
+        set_enabled(True)
+    on_seconds, off_seconds = min(on_times), min(off_times)
+    overhead = on_seconds / off_seconds - 1.0
+    return {
+        "benchmark": "telemetry_overhead",
+        "config": CONFIG.to_dict(),
+        "reps": REPS,
+        "instrumented_seconds": round(on_seconds, 4),
+        "disabled_seconds": round(off_seconds, 4),
+        "overhead": round(overhead, 4),
+        "max_overhead": MAX_OVERHEAD,
+    }
+
+
+def main() -> int:
+    """Run, record the JSON, enforce the gate."""
+    record = run_benchmark()
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(record, indent=1) + "\n")
+    print(f"instrumented : {record['instrumented_seconds']:8.3f} s "
+          f"(min of {record['reps']})")
+    print(f"disabled     : {record['disabled_seconds']:8.3f} s "
+          f"(min of {record['reps']})")
+    print(f"overhead     : {record['overhead'] * 100.0:+8.2f} % "
+          f"(gate < {record['max_overhead'] * 100.0:.0f} %)")
+    print(f"recorded -> {RESULTS_PATH}")
+    if record["overhead"] >= MAX_OVERHEAD:
+        print("FAIL: telemetry overhead above the gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+def test_instrumented_flow_run(benchmark):
+    """pytest-benchmark entry: time the instrumented uncached run."""
+    assert enabled()
+    result = benchmark.pedantic(lambda: Flow(CONFIG).run(),
+                                rounds=3, iterations=1)
+    assert result.tests.num_tests > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,7 @@ from repro.flow.config import (
     USpec,
 )
 from repro.flow.flow import Flow
+from repro.telemetry import span
 
 #: Orders reported by the paper's Table 5, in column order.
 TABLE5_ORDERS: Tuple[str, ...] = ("orig", "dynm", "0dynm", "incr0")
@@ -143,13 +144,14 @@ class ExperimentRunner:
     def prepare(self, name: str) -> PreparedCircuit:
         """Circuit + faults + ``U`` + ADI for one suite circuit (cached)."""
         if name not in self._prepared:
-            flow = self.flow(name)
-            self._prepared[name] = PreparedCircuit(
-                circuit=flow.circuit(),
-                faults=list(flow.faults()),
-                selection=flow.selection(),
-                adi=flow.adi(),
-            )
+            with span("experiment.prepare", circuit=name):
+                flow = self.flow(name)
+                self._prepared[name] = PreparedCircuit(
+                    circuit=flow.circuit(),
+                    faults=list(flow.faults()),
+                    selection=flow.selection(),
+                    adi=flow.adi(),
+                )
         return self._prepared[name]
 
     def order_permutation(self, name: str, order: str) -> List[int]:
@@ -158,7 +160,8 @@ class ExperimentRunner:
 
     def testgen(self, name: str, order: str) -> TestGenResult:
         """Ordered test generation for (circuit, order), cached."""
-        return self.flow(name).tests(order)
+        with span("experiment.testgen", circuit=name, order=order):
+            return self.flow(name).tests(order)
 
     def curve(self, name: str, order: str) -> CurveReport:
         """Coverage curve of the generated test set, cached."""
@@ -174,13 +177,15 @@ class ExperimentRunner:
         at the target coverage, ADI over the selected pairs.
         """
         if name not in self._prepared_transition:
-            flow = self.flow(name, "transition")
-            self._prepared_transition[name] = PreparedTransitionCircuit(
-                circuit=flow.circuit(),
-                faults=list(flow.faults()),
-                selection=flow.selection(),
-                adi=flow.adi(),
-            )
+            with span("experiment.prepare", circuit=name,
+                      fault_model="transition"):
+                flow = self.flow(name, "transition")
+                self._prepared_transition[name] = PreparedTransitionCircuit(
+                    circuit=flow.circuit(),
+                    faults=list(flow.faults()),
+                    selection=flow.selection(),
+                    adi=flow.adi(),
+                )
         return self._prepared_transition[name]
 
     def transition_order_permutation(self, name: str, order: str) -> List[int]:
@@ -190,7 +195,9 @@ class ExperimentRunner:
     def transition_testgen(self, name: str,
                            order: str) -> TransitionTestGenResult:
         """Ordered two-pattern test generation for (circuit, order), cached."""
-        return self.flow(name, "transition").tests(order)
+        with span("experiment.testgen", circuit=name, order=order,
+                  fault_model="transition"):
+            return self.flow(name, "transition").tests(order)
 
     def transition_curve(self, name: str, order: str) -> CurveReport:
         """Coverage curve of the generated two-pattern test set, cached."""

@@ -30,9 +30,19 @@ For long-running services (:mod:`repro.flow.server`) the cache also
 keeps an append-only *access ledger* (``ledger.jsonl`` under the root):
 every hit and put appends one line, and :meth:`ArtifactCache.prune`
 accepts a byte budget (``max_bytes``) that evicts least-recently-used
-artifacts first until the cache fits.  Hit/miss/put counters are
-maintained in-process (thread-safe) and exposed by
-:meth:`ArtifactCache.counters` for the server's ``/stats`` endpoint.
+artifacts first until the cache fits.
+
+Telemetry: every cache instance records into a
+:class:`repro.telemetry.MetricsRegistry` (private by default, injectable
+for aggregation) — hit/miss and put outcomes as counters
+(``repro_cache_requests_total``, ``repro_cache_puts_total``), get/put/
+prune latencies as histograms (``repro_cache_op_seconds``), and bytes on
+disk as a gauge (``repro_cache_disk_bytes``, refreshed by
+:meth:`ArtifactCache.stats` — i.e. on every ``/stats`` or ``/metrics``
+scrape).  :meth:`ArtifactCache.counters` is a *read view* of the same
+registry series under the historical key names (``hits`` / ``misses`` /
+``puts_written`` / ``puts_deduped``), kept as deprecated aliases so
+``/stats`` and ``/metrics`` can never disagree.
 """
 
 from __future__ import annotations
@@ -45,6 +55,8 @@ import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.telemetry import MetricsRegistry
 
 try:  # POSIX advisory locks; per open-file-description, so threads contend too
     import fcntl
@@ -162,17 +174,38 @@ class ArtifactCache:
 
     ``ledger`` switches the on-disk access ledger (needed for LRU
     pruning); it defaults on and costs one appended line per hit/put.
+    ``registry`` injects the telemetry registry the cache records into
+    (the flow server aggregates its cache's registry into ``/metrics``);
+    by default each cache gets a private one, so independent caches in
+    one process never mix counters.
     """
 
+    #: Legacy ``counters()`` key → (family, label key, label value).
+    _COUNTER_SERIES = {
+        "hits": ("repro_cache_requests_total", "result", "hit"),
+        "misses": ("repro_cache_requests_total", "result", "miss"),
+        "puts_written": ("repro_cache_puts_total", "outcome", "written"),
+        "puts_deduped": ("repro_cache_puts_total", "outcome", "deduped"),
+    }
+
     def __init__(self, root: Union[str, Path, None] = None, *,
-                 ledger: bool = True):
+                 ledger: bool = True,
+                 registry: Optional[MetricsRegistry] = None):
         self.root = Path(root) if root is not None else default_cache_root()
         self.ledger_enabled = ledger
-        self._counter_lock = threading.Lock()
-        self._counters = {
-            "hits": 0, "misses": 0,
-            "puts_written": 0, "puts_deduped": 0,
-        }
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._requests = self.registry.counter(
+            "repro_cache_requests_total",
+            "Artifact cache reads by result (hit/miss).")
+        self._puts = self.registry.counter(
+            "repro_cache_puts_total",
+            "Artifact cache writes by outcome (written/deduped).")
+        self._op_seconds = self.registry.histogram(
+            "repro_cache_op_seconds",
+            "Artifact cache operation latency by op (get/put/prune).")
+        self._disk_bytes = self.registry.gauge(
+            "repro_cache_disk_bytes",
+            "Artifact bytes on disk (refreshed by stats()/scrapes).")
 
     def _path(self, stage: str, key: str) -> Path:
         return self.root / stage / f"{key}.json"
@@ -185,13 +218,30 @@ class ArtifactCache:
         return self.root / LEDGER_NAME
 
     def _count(self, name: str, by: int = 1) -> None:
-        with self._counter_lock:
-            self._counters[name] += by
+        family, label, value = self._COUNTER_SERIES[name]
+        if family == "repro_cache_requests_total":
+            self._requests.labels(**{label: value}).inc(by)
+        else:
+            self._puts.labels(**{label: value}).inc(by)
 
     def counters(self) -> Dict[str, int]:
-        """A snapshot of this process's hit/miss/put counters."""
-        with self._counter_lock:
-            return dict(self._counters)
+        """This cache's hit/miss/put counters under their historical keys.
+
+        Deprecated aliases: the values are read straight from the
+        telemetry registry series (``repro_cache_requests_total`` /
+        ``repro_cache_puts_total``), so this view and ``GET /metrics``
+        agree by construction.
+        """
+        out = {}
+        for name, (family, label, value) in self._COUNTER_SERIES.items():
+            series = (self._requests
+                      if family == "repro_cache_requests_total"
+                      else self._puts)
+            out[name] = int(series.labels(**{label: value}).value)
+        return out
+
+    def _observe_op(self, op: str, started: float) -> None:
+        self._op_seconds.labels(op=op).observe(time.perf_counter() - started)
 
     # -- ledger --------------------------------------------------------------
 
@@ -262,6 +312,13 @@ class ArtifactCache:
         A corrupt or truncated file (interrupted writer, bad disk) is
         removed so the caller recomputes and overwrites it.
         """
+        started = time.perf_counter()
+        try:
+            return self._get(stage, key)
+        finally:
+            self._observe_op("get", started)
+
+    def _get(self, stage: str, key: str) -> Optional[Dict[str, Any]]:
         path = self._path(stage, key)
         try:
             text = path.read_text()
@@ -314,6 +371,14 @@ class ArtifactCache:
         forces the write, for callers replacing an artifact they know to
         be stale (e.g. one that deserialized but failed validation).
         """
+        started = time.perf_counter()
+        try:
+            return self._put(stage, key, payload, replace=replace)
+        finally:
+            self._observe_op("put", started)
+
+    def _put(self, stage: str, key: str, payload: Dict[str, Any], *,
+             replace: bool = False) -> Path:
         path = self._path(stage, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         with _FileLock(self._lock_path(stage, key)):
@@ -383,6 +448,7 @@ class ArtifactCache:
             entry["bytes"] += size
             total_files += 1
             total_bytes += size
+        self._disk_bytes.labels().set(total_bytes)
         return {
             "root": str(self.root),
             "stages": stages,
@@ -402,6 +468,14 @@ class ArtifactCache:
         size is within the budget.  Pruning to a budget is idempotent —
         a second call with the same budget removes nothing.
         """
+        started = time.perf_counter()
+        try:
+            return self._prune(stage, max_bytes)
+        finally:
+            self._observe_op("prune", started)
+
+    def _prune(self, stage: Optional[str],
+               max_bytes: Optional[int]) -> int:
         if max_bytes is None:
             removed = 0
             for path in self._artifact_files(stage):

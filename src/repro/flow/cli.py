@@ -4,6 +4,7 @@ Usage (installed console script, or ``python -m repro``)::
 
     repro run     --circuit irs208 --order 0dynm          # full pipeline
     repro run     --config flow.json --json               # declarative + JSON
+    repro run     --circuit irs208 --trace                # + span tree & JSON
     repro order   --circuit irs208 --order dynm           # just the permutation
     repro testgen --circuit irs208 --write-tests t.txt    # tests + pattern file
     repro report  --circuit irs208 --order 0dynm          # coverage curve / AVE
@@ -24,6 +25,14 @@ exits — the reproducibility receipt to commit next to results.
 Artifacts go to the content-addressed cache under ``results/cache`` by
 default (``--cache-dir`` overrides, ``--no-cache`` disables), so a
 second ``repro run`` of the same config answers from disk.
+
+``--trace`` activates :mod:`repro.telemetry` span collection for the
+run: the text output gains an indented per-stage/per-span wall-time
+tree, and the full tree is persisted as
+``results/trace_<fingerprint>.json`` (``--trace-dir`` overrides the
+directory).  The stage durations in the tree are the *same
+measurements* the run summary reports under ``timings`` — one span, two
+views.
 """
 
 from __future__ import annotations
@@ -47,6 +56,7 @@ from repro.flow.config import (
     USpec,
 )
 from repro.flow.flow import Flow
+from repro.telemetry import enabled, set_enabled, tracing
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -107,6 +117,13 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         help="emit machine-readable JSON instead of text")
     parser.add_argument("--out", metavar="FILE",
                         help="write the output document to FILE as well")
+    parser.add_argument("--trace", action="store_true",
+                        help="collect a telemetry span trace: print the "
+                             "per-stage wall-time tree and write "
+                             "trace_<fingerprint>.json")
+    parser.add_argument("--trace-dir", metavar="DIR", default="results",
+                        help="directory for the --trace JSON "
+                             "(default: results)")
 
 
 def build_config(args: argparse.Namespace) -> FlowConfig:
@@ -206,6 +223,39 @@ def _emit(text: str, args: argparse.Namespace) -> None:
         Path(args.out).write_text(text + "\n")
 
 
+def _traced_render(args: argparse.Namespace, flow: Flow,
+                   config: FlowConfig, render):
+    """Run ``render`` under a trace collector; persist and append the tree.
+
+    ``--trace`` is an explicit request, so span recording is switched on
+    for the duration even under ``REPRO_TELEMETRY=off`` (and restored
+    after).  The tree lands in ``<trace-dir>/trace_<fingerprint>.json``;
+    its stage durations are the very measurements the run summary
+    reports under ``timings``.
+    """
+    was_enabled = enabled()
+    if not was_enabled:
+        set_enabled(True)
+    try:
+        with tracing() as collector:
+            document, text = render(flow, config)
+    finally:
+        if not was_enabled:
+            set_enabled(False)
+    fingerprint = config.fingerprint()
+    trace_document = {
+        "schema": "repro.flow.trace/v1",
+        "config_fingerprint": fingerprint,
+        **collector.to_dict(),
+    }
+    path = Path(args.trace_dir) / f"trace_{fingerprint}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trace_document, indent=1) + "\n")
+    text = (f"{text}\n\ntrace ({collector.total_seconds() * 1000.0:.2f} ms "
+            f"total)\n{collector.format_tree()}\ntrace written to {path}")
+    return document, text
+
+
 def _run_style_command(args: argparse.Namespace,
                        render) -> int:
     """Shared driver of run/order/testgen/report: config → flow → output."""
@@ -214,7 +264,10 @@ def _run_style_command(args: argparse.Namespace,
         _emit(config.to_json(), args)
         return 0
     flow = _make_flow(args, config)
-    document, text = render(flow, config)
+    if args.trace:
+        document, text = _traced_render(args, flow, config, render)
+    else:
+        document, text = render(flow, config)
     if getattr(args, "write_tests", None):
         _write_tests(flow, args.write_tests)
     _emit(json.dumps(document, indent=1) if args.json else text, args)

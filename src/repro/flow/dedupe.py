@@ -27,6 +27,8 @@ import queue
 import threading
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.telemetry import MetricsRegistry
+
 #: Sentinel closing a follower's event stream.
 _DONE = object()
 
@@ -112,12 +114,30 @@ class InflightTable:
     leader must call :meth:`complete` in a ``finally`` — it closes the
     computation and removes it from the table so later requests (no
     longer concurrent) start fresh, answering from the artifact cache.
+
+    Dedupe accounting lives on a telemetry registry (injected by the
+    flow server so ``/metrics`` and ``/stats`` read one source):
+    ``repro_dedupe_coalesced_total`` counts follower attachments,
+    ``repro_dedupe_leaders_total`` counts admitted leaders, and
+    ``repro_dedupe_inflight_keys`` gauges the live table size.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self._lock = threading.Lock()
         self._inflight: Dict[str, Computation] = {}
-        self._deduped_total = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._coalesced = self.registry.counter(
+            "repro_dedupe_coalesced_total",
+            "Requests coalesced onto an in-flight identical computation.",
+        ).labels()
+        self._leaders = self.registry.counter(
+            "repro_dedupe_leaders_total",
+            "Computations admitted as single-flight leaders.",
+        ).labels()
+        self._inflight_gauge = self.registry.gauge(
+            "repro_dedupe_inflight_keys",
+            "Distinct keys currently computing.",
+        ).labels()
 
     def lease(self, key: str) -> Tuple[Computation, bool]:
         """The computation for ``key`` and whether the caller leads it."""
@@ -125,10 +145,12 @@ class InflightTable:
             entry = self._inflight.get(key)
             if entry is not None:
                 entry.followers += 1
-                self._deduped_total += 1
+                self._coalesced.inc()
                 return entry, False
             entry = Computation(key)
             self._inflight[key] = entry
+            self._leaders.inc()
+            self._inflight_gauge.set(len(self._inflight))
             return entry, True
 
     def complete(self, entry: Computation, result: Any = None,
@@ -138,6 +160,7 @@ class InflightTable:
         with self._lock:
             if self._inflight.get(entry.key) is entry:
                 del self._inflight[entry.key]
+            self._inflight_gauge.set(len(self._inflight))
 
     def run(self, key: str, compute: Callable[[Computation], Any]) -> \
             Tuple[Any, bool]:
@@ -161,9 +184,14 @@ class InflightTable:
         return result, True
 
     def stats(self) -> Dict[str, int]:
-        """Current in-flight count and the lifetime dedupe total."""
+        """Current in-flight count and the lifetime dedupe total.
+
+        The keys are deprecated aliases of the registry series
+        (``repro_dedupe_inflight_keys`` / ``repro_dedupe_coalesced_total``
+        on ``GET /metrics``), kept for ``/stats`` compatibility.
+        """
         with self._lock:
             return {
                 "inflight": len(self._inflight),
-                "deduped_total": self._deduped_total,
+                "deduped_total": int(self._coalesced.value),
             }

@@ -39,6 +39,7 @@ from repro.faults.registry import FaultModel, fault_model
 from repro.flow.cache import ArtifactCache, stage_key
 from repro.flow.config import CircuitSpec, FlowConfig
 from repro.flow import serialize
+from repro.telemetry import get_registry, span
 
 
 @dataclass(frozen=True)
@@ -75,6 +76,33 @@ class FlowResult:
     report: CurveReport
     stages: List[StageInfo] = field(default_factory=list)
 
+    def timings(self) -> Dict[str, Any]:
+        """Per-stage durations and cache attribution of this run.
+
+        The ``timings`` key of :meth:`summary` (and of every flow-server
+        response document): one entry per stage carrying the same
+        duration the telemetry span measured, plus aggregate cache
+        hit/miss counts (``hits`` — stages served from the artifact
+        cache, ``misses`` — stages actually computed; in-memory repeats
+        are neither).
+        """
+        stages = {
+            info.stage: {"seconds": round(info.seconds, 6),
+                         "source": info.source}
+            for info in self.stages
+        }
+        return {
+            "stages": stages,
+            "total_seconds": round(
+                sum(info.seconds for info in self.stages), 6),
+            "cache": {
+                "hits": sum(1 for info in self.stages
+                            if info.source == "cache"),
+                "misses": sum(1 for info in self.stages
+                              if info.source == "computed"),
+            },
+        }
+
     def summary(self) -> Dict[str, Any]:
         """The stable JSON document ``repro run --json`` emits."""
         lo, hi = self.adi.adi_min_max()
@@ -110,6 +138,7 @@ class FlowResult:
                 "total_faults": self.report.total_faults,
             },
             "stages": [info.to_dict() for info in self.stages],
+            "timings": self.timings(),
         }
 
 
@@ -222,25 +251,35 @@ class Flow:
         started = time.perf_counter()
         value = None
         source = "computed"
-        if self.cache is not None and decode is not None:
-            payload = self.cache.get(directory, key)
-            if payload is not None:
-                try:
-                    value = decode(payload)
-                    source = "cache"
-                except (ReproError, KeyError, TypeError, ValueError):
-                    # Artifact deserialized but failed validation (e.g. a
-                    # stale or hand-edited file): delete it and recompute
-                    # (put is put-if-absent, so the stale file must go
-                    # before the recomputed artifact can land).
-                    self.cache.delete(directory, key)
-                    value = None
-        if value is None:
-            value = compute()
-            if self.cache is not None and encode is not None:
-                self.cache.put(directory, key, encode(value))
+        with span(f"flow.{directory}", stage=name, key=key[:12]) as stage_span:
+            if self.cache is not None and decode is not None:
+                payload = self.cache.get(directory, key)
+                if payload is not None:
+                    try:
+                        value = decode(payload)
+                        source = "cache"
+                    except (ReproError, KeyError, TypeError, ValueError):
+                        # Artifact deserialized but failed validation (e.g. a
+                        # stale or hand-edited file): delete it and recompute
+                        # (put is put-if-absent, so the stale file must go
+                        # before the recomputed artifact can land).
+                        self.cache.delete(directory, key)
+                        value = None
+            if value is None:
+                value = compute()
+                if self.cache is not None and encode is not None:
+                    self.cache.put(directory, key, encode(value))
         self._memo[name] = value
-        self._record(name, key, source, time.perf_counter() - started)
+        # The span's own clock is the stage's recorded duration, so the
+        # trace tree, the registry histogram and StageInfo agree exactly;
+        # perf_counter is the fallback with telemetry off.
+        seconds = (stage_span.seconds if stage_span.seconds is not None
+                   else time.perf_counter() - started)
+        get_registry().histogram(
+            "repro_flow_stage_seconds",
+            "Flow stage wall time by stage and result source.",
+        ).labels(stage=directory, source=source).observe(seconds)
+        self._record(name, key, source, seconds)
         return value
 
     def _cached_key(self, name: str, build) -> str:

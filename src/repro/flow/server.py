@@ -26,8 +26,25 @@ Endpoints (all JSON):
   one ``stage`` event per finished pipeline stage (fed from the Flow's
   stage observer), then one ``result`` event with the full document.
 * ``GET /stats`` — cache hit/miss/put counters, dedupe and request
-  totals, memo occupancy, drain state.
+  totals, memo occupancy, drain state (JSON; the counter keys are
+  deprecated aliases of the registry series ``GET /metrics`` exposes —
+  both read the same :class:`repro.telemetry.MetricsRegistry` series,
+  so the two surfaces can never disagree).
+* ``GET /metrics`` — the same numbers in Prometheus text exposition
+  format: per-request latency histograms by route and result source
+  (``repro_http_request_seconds``), served/error counters, an in-flight
+  gauge, dedupe counters, cache hit/miss/put/latency series, flow stage
+  timings and fault-sim spans.  Scrapes of ``/metrics`` itself are not
+  recorded, so an idle server's output is scrape-stable.
 * ``GET /healthz`` — ``{"status": "ok"}``, or ``"draining"``.
+
+With ``--verbose`` the server emits one structured access-log line per
+request (method, path, status, latency, result source, run key) through
+:func:`repro.telemetry.log_event` — ``REPRO_LOG_FORMAT=json`` switches
+it to one JSON object per line.  The stock
+:meth:`~http.server.BaseHTTPRequestHandler.log_message` stderr writes
+are routed through the same layer and silent by default (tests run
+quiet).
 
 Requests whose body exceeds ``max_body`` get 413; malformed JSON, a bad
 ``Content-Length`` or an invalid config gets 400 naming the problem; a
@@ -52,11 +69,13 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import urlparse, parse_qs
 
+from repro import telemetry
 from repro.errors import ReproError
 from repro.flow.cache import ArtifactCache
 from repro.flow.config import FlowConfig
 from repro.flow.dedupe import Computation, InflightTable
 from repro.flow.flow import Flow
+from repro.telemetry import MetricsRegistry, log_event, render_prometheus
 
 #: Response/stream schema version.
 SERVER_SCHEMA = "repro.flow.server/v1"
@@ -98,7 +117,25 @@ class FlowServer(ThreadingHTTPServer):
         self.follower_timeout = follower_timeout
         self.quiet = quiet
         self.flow_factory = flow_factory or self._default_flow_factory
-        self.inflight = InflightTable()
+        #: Per-server telemetry registry: HTTP and dedupe series live
+        #: here; flow/fsim spans accumulate in the process default
+        #: registry; cache series in the cache's own.  ``GET /metrics``
+        #: renders all three.
+        self.registry = MetricsRegistry()
+        self._requests_counter = self.registry.counter(
+            "repro_http_requests_total", "HTTP requests by route.")
+        self._served_counter = self.registry.counter(
+            "repro_http_run_served_total",
+            "POST /run responses by result source.")
+        self._errors_counter = self.registry.counter(
+            "repro_http_errors_total", "HTTP error responses by status.")
+        self._latency = self.registry.histogram(
+            "repro_http_request_seconds",
+            "Request latency by route and result source.")
+        self._inflight_gauge = self.registry.gauge(
+            "repro_http_inflight_requests",
+            "Requests currently being handled.").labels()
+        self.inflight = InflightTable(registry=self.registry)
         self._memo: "collections.OrderedDict[str, Dict[str, Any]]" = \
             collections.OrderedDict()
         self._memo_size = memo_size
@@ -106,10 +143,6 @@ class FlowServer(ThreadingHTTPServer):
         self._draining = False
         self._active_runs = 0
         self._idle = threading.Condition(self._state_lock)
-        self.request_counters = {
-            "requests_total": 0, "served_computed": 0, "served_cache": 0,
-            "served_inflight": 0, "errors": 0,
-        }
 
     def _default_flow_factory(self, config: FlowConfig, observer) -> Flow:
         return Flow(config, cache=self.cache, observer=observer)
@@ -117,8 +150,54 @@ class FlowServer(ThreadingHTTPServer):
     # -- counters / memo -----------------------------------------------------
 
     def count(self, name: str) -> None:
-        with self._state_lock:
-            self.request_counters[name] += 1
+        """Bump one legacy-named counter (now a registry series).
+
+        ``requests_total`` → ``repro_http_requests_total{route="/run"}``,
+        ``served_<source>`` → ``repro_http_run_served_total{source=...}``;
+        the old dict is gone, the names survive as ``/stats`` aliases.
+        """
+        if name == "requests_total":
+            self._requests_counter.labels(route="/run").inc()
+        elif name.startswith("served_"):
+            self._served_counter.labels(source=name[len("served_"):]).inc()
+        else:
+            raise ValueError(f"unknown request counter {name!r}")
+
+    def count_error(self, status: int) -> None:
+        """Record one error response (labelled by HTTP status)."""
+        self._errors_counter.labels(status=str(status)).inc()
+
+    def count_route(self, route: str) -> None:
+        """Record one non-/run request (GET endpoints, 404s)."""
+        self._requests_counter.labels(route=route).inc()
+
+    def observe_request(self, route: str, source: str,
+                        seconds: float) -> None:
+        """Record one finished request in the latency histogram."""
+        self._latency.labels(route=route, source=source).observe(seconds)
+
+    @property
+    def request_counters(self) -> Dict[str, int]:
+        """The legacy ``/stats`` request counters, read from the registry.
+
+        Deprecated aliases — one source of truth with ``GET /metrics``.
+        """
+        served = {
+            source: int(self._served_counter.labels(source=source).value)
+            for source in ("computed", "cache", "inflight")
+        }
+        errors = sum(
+            int(series.value)
+            for series in self._errors_counter.series()
+        )
+        return {
+            "requests_total": int(
+                self._requests_counter.labels(route="/run").value),
+            "served_computed": served["computed"],
+            "served_cache": served["cache"],
+            "served_inflight": served["inflight"],
+            "errors": errors,
+        }
 
     def memo_get(self, key: str) -> Optional[Dict[str, Any]]:
         with self._state_lock:
@@ -183,19 +262,24 @@ class FlowServer(ThreadingHTTPServer):
         return drained
 
     def stats_document(self) -> Dict[str, Any]:
-        """The ``/stats`` payload."""
+        """The ``/stats`` payload.
+
+        The ``requests``/``dedupe``/``cache`` counter keys are
+        deprecated aliases of the registry series served by
+        ``GET /metrics`` — values are read from the same series.
+        """
         with self._state_lock:
-            requests = dict(self.request_counters)
             memo = {"entries": len(self._memo), "size": self._memo_size}
             draining = self._draining
             active = self._active_runs
         document: Dict[str, Any] = {
             "schema": SERVER_SCHEMA,
-            "requests": requests,
+            "requests": self.request_counters,
             "dedupe": self.inflight.stats(),
             "memo": memo,
             "active_runs": active,
             "draining": draining,
+            "metrics_endpoint": "/metrics",
         }
         if self.cache is not None:
             cache_stats = self.cache.stats()
@@ -206,6 +290,22 @@ class FlowServer(ThreadingHTTPServer):
                 "root": cache_stats["root"],
             }
         return document
+
+    def metrics_text(self) -> str:
+        """The ``/metrics`` payload: Prometheus text exposition.
+
+        Renders the server's own registry (HTTP + dedupe series), the
+        cache's (hit/miss/put/latency/disk bytes — refreshed first, so
+        the byte gauge is current at scrape time) and the process
+        default registry (flow stage and fault-sim spans, including
+        per-shard series merged back from ``parallel`` workers).
+        """
+        registries = [self.registry]
+        if self.cache is not None:
+            self.cache.stats()  # refresh repro_cache_disk_bytes
+            registries.append(self.cache.registry)
+        registries.append(telemetry.get_registry())
+        return render_prometheus(*registries)
 
 
 class _HTTPError(Exception):
@@ -226,9 +326,34 @@ class FlowRequestHandler(BaseHTTPRequestHandler):
 
     # -- plumbing ------------------------------------------------------------
 
+    def log_request(self, code: Any = "-", size: Any = "-") -> None:
+        # The stock per-response stderr line is superseded by the
+        # structured access log below; suppressing it here keeps tests
+        # (and piped deployments) free of unformatted noise.
+        pass
+
     def log_message(self, format: str, *args: Any) -> None:
+        # http.server's remaining internal messages (log_error on bad
+        # requests etc.) go through the telemetry logging layer — one
+        # structured line, JSON-able, silent on quiet servers.
         if not self.server.quiet:
-            super().log_message(format, *args)
+            log_event("http_server", level="warning",
+                      message=format % args,
+                      client=self.address_string())
+
+    def _access_log(self, method: str, route: str, status: int,
+                    source: str, seconds: float) -> None:
+        if self.server.quiet:
+            return
+        log_event("http_access", method=method, path=self.path,
+                  route=route, status=status, source=source or None,
+                  seconds=round(seconds, 6),
+                  key=getattr(self, "_run_key", None),
+                  client=self.address_string())
+
+    def send_response(self, code: int, message: Optional[str] = None) -> None:
+        self._status = code
+        super().send_response(code, message)
 
     def _send_json(self, status: int, document: Dict[str, Any],
                    headers: Optional[Dict[str, str]] = None) -> None:
@@ -243,7 +368,8 @@ class FlowRequestHandler(BaseHTTPRequestHandler):
 
     def _send_error_json(self, status: int, message: str,
                          headers: Optional[Dict[str, str]] = None) -> None:
-        self.server.count("errors")
+        self.server.count_error(status)
+        self._source = "error"
         self._send_json(status, {
             "schema": SERVER_SCHEMA, "error": message, "status": status,
         }, headers)
@@ -287,6 +413,30 @@ class FlowRequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:
         path = urlparse(self.path).path
+        started = time.perf_counter()
+        self._source = ""
+        self._status = 0
+        if path == "/metrics":
+            # Scrapes are served but deliberately not recorded — no
+            # counter, histogram or in-flight gauge movement — so two
+            # back-to-back scrapes of an idle server are byte-identical
+            # (scrape-stability is tested).
+            try:
+                body = self.server.metrics_text().encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type",
+                                 "text/plain; version=0.0.4; charset=utf-8")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            except (BrokenPipeError, ConnectionResetError):
+                self.close_connection = True
+            finally:
+                self._access_log("GET", path, self._status, self._source,
+                                 time.perf_counter() - started)
+            return
+        route = path if path in ("/stats", "/healthz") else "other"
+        self.server._inflight_gauge.inc()
         try:
             if path == "/stats":
                 self._send_json(200, self.server.stats_document())
@@ -298,15 +448,29 @@ class FlowRequestHandler(BaseHTTPRequestHandler):
                 self._send_error_json(404, f"unknown path {path!r}")
         except (BrokenPipeError, ConnectionResetError):
             self.close_connection = True
+        finally:
+            self.server._inflight_gauge.dec()
+            seconds = time.perf_counter() - started
+            self.server.count_route(route)
+            self.server.observe_request(route, self._source, seconds)
+            self._access_log("GET", route, self._status, self._source,
+                             seconds)
 
     def do_POST(self) -> None:
         parsed = urlparse(self.path)
+        started = time.perf_counter()
+        self._source = ""
+        self._status = 0
         if parsed.path != "/run":
+            self.server.count_route("other")
             self._send_error_json(404, f"unknown path {parsed.path!r}")
+            self._access_log("POST", "other", self._status, self._source,
+                             time.perf_counter() - started)
             return
         stream = parse_qs(parsed.query).get("stream", ["0"])[0] not in \
             ("0", "", "false")
         self.server.count("requests_total")
+        self.server._inflight_gauge.inc()
         try:
             try:
                 config = self._read_config()
@@ -323,6 +487,12 @@ class FlowRequestHandler(BaseHTTPRequestHandler):
                 self.server.exit_run()
         except (BrokenPipeError, ConnectionResetError):
             self.close_connection = True
+        finally:
+            self.server._inflight_gauge.dec()
+            seconds = time.perf_counter() - started
+            self.server.observe_request("/run", self._source, seconds)
+            self._access_log("POST", "/run", self._status, self._source,
+                             seconds)
 
     # -- the run path --------------------------------------------------------
 
@@ -333,6 +503,7 @@ class FlowRequestHandler(BaseHTTPRequestHandler):
         except ReproError as exc:
             self._send_error_json(400, f"invalid flow config: {exc}")
             return
+        self._run_key = key
 
         memo = self.server.memo_get(key)
         if memo is not None:
@@ -341,6 +512,7 @@ class FlowRequestHandler(BaseHTTPRequestHandler):
             document = dict(memo, source="cache",
                             config_fingerprint=config.fingerprint())
             self.server.count("served_cache")
+            self._source = "cache"
             if stream:
                 self._stream_events(
                     [("stage", info) for info in document["result"]["stages"]],
@@ -412,13 +584,15 @@ class FlowRequestHandler(BaseHTTPRequestHandler):
                     self._write_event("error", {"schema": SERVER_SCHEMA,
                                                 "error": message,
                                                 "status": 500})
-                    self.server.count("errors")
+                    self.server.count_error(500)
+                    self._source = "error"
                 else:
                     self._send_error_json(500, message)
                 return
             self.server.memo_put(entry.key, document)
             complete(document)
             self.server.count(f"served_{source}")
+            self._source = source
             if streamed_headers:
                 self._write_event("result", document)
             else:
@@ -447,13 +621,15 @@ class FlowRequestHandler(BaseHTTPRequestHandler):
             if stream:
                 self._write_event("error", {"schema": SERVER_SCHEMA,
                                             "error": message, "status": 500})
-                self.server.count("errors")
+                self.server.count_error(500)
+                self._source = "error"
             else:
                 self._send_error_json(500, message)
             return
         document = dict(document, source="inflight",
                         config_fingerprint=config.fingerprint())
         self.server.count("served_inflight")
+        self._source = "inflight"
         if stream:
             self._write_event("result", document)
         else:

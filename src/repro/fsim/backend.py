@@ -61,6 +61,7 @@ from repro.circuit.flatten import CompiledCircuit
 from repro.errors import SimulationError
 from repro.faults.model import Fault
 from repro.sim.patterns import PatternPairSet, PatternSet
+from repro.telemetry import span
 from repro.utils.detmatrix import DetectionMatrix
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -163,22 +164,28 @@ def backend_detection_matrix(engine, faults: Sequence[Fault]
     Engines predating the packed contract (third-party registrations)
     keep working: their big-int words are packed exactly once here.
     """
-    native = getattr(engine, "detection_matrix", None)
-    if native is not None:
-        return native(faults)
-    return DetectionMatrix.from_bigints(
-        engine.detection_words(faults), engine.num_patterns
-    )
+    with span("fsim.detection_matrix",
+              backend=getattr(engine, "name", type(engine).__name__),
+              faults=len(faults)):
+        native = getattr(engine, "detection_matrix", None)
+        if native is not None:
+            return native(faults)
+        return DetectionMatrix.from_bigints(
+            engine.detection_words(faults), engine.num_patterns
+        )
 
 
 def backend_transition_detection_matrix(engine, faults) -> DetectionMatrix:
     """``engine.transition_detection_matrix`` with a pack-once fallback."""
-    native = getattr(engine, "transition_detection_matrix", None)
-    if native is not None:
-        return native(faults)
-    return DetectionMatrix.from_bigints(
-        engine.transition_detection_words(faults), engine.num_patterns
-    )
+    with span("fsim.transition_detection_matrix",
+              backend=getattr(engine, "name", type(engine).__name__),
+              faults=len(faults)):
+        native = getattr(engine, "transition_detection_matrix", None)
+        if native is not None:
+            return native(faults)
+        return DetectionMatrix.from_bigints(
+            engine.transition_detection_words(faults), engine.num_patterns
+        )
 
 
 BackendFactory = Callable[[CompiledCircuit], FaultSimBackend]

@@ -29,7 +29,12 @@ The moving parts:
   :class:`~repro.errors.SimulationError` naming the shard, and tears the
   sibling workers down; a ``KeyboardInterrupt`` in the parent likewise
   terminates the pool before propagating, so no orphan processes
-  survive either failure mode.
+  survive either failure mode;
+* telemetry — each worker records faults simulated and shard sim time
+  into a :func:`repro.telemetry.scoped_registry` and ships the snapshot
+  home with its row block; the parent merges every snapshot under a
+  ``shard`` label, so per-shard series appear in the process registry
+  (and on ``GET /metrics``) with sums equal to the single-core totals.
 
 Small queries (fewer faults than :attr:`ShardedFaultSim.min_faults`)
 never touch the pool: they run inline on a base engine bound in-process,
@@ -54,10 +59,19 @@ from repro.fsim.backend import (
     create_backend,
 )
 from repro.sim.patterns import PatternPairSet, PatternSet
+from repro.telemetry import get_registry, scoped_registry, span
 from repro.utils.detmatrix import DetectionMatrix
 
 #: Environment variable overriding the shard (worker) count.
 SHARDS_ENV_VAR = "REPRO_FSIM_SHARDS"
+
+#: Counter of simulated faults; the ``shard`` label distinguishes the
+#: inline small-query path (``"inline"``) from pool workers (``"0"``,
+#: ``"1"``, ...), so summing the family across shards equals the total
+#: fault count of every query — the invariant the telemetry merge
+#: tests assert.
+FAULTS_METRIC = "repro_fsim_faults_total"
+_FAULTS_HELP = "Faults simulated, by base engine, query kind and shard."
 
 #: Environment variable overriding the base engine workers run.
 SHARD_BASE_ENV_VAR = "REPRO_FSIM_SHARD_BASE"
@@ -164,30 +178,36 @@ def _simulate_shard(task):
     """Run one shard; never raise — errors travel home as tuples.
 
     ``task`` is ``(shard_index, kind, generation, block, faults)``.
-    Returns ``("ok", shard_index, words)`` with the shard's uint64 row
-    block, or ``("error", shard_index, summary, traceback_text)``.
-    Catching ``BaseException`` is deliberate: even a ``KeyboardInterrupt``
+    Returns ``("ok", shard_index, words, telemetry_snapshot)`` with the
+    shard's uint64 row block and the worker-local registry snapshot
+    (the parent merges it back under a ``shard`` label), or
+    ``("error", shard_index, summary, traceback_text)``.  Catching
+    ``BaseException`` is deliberate: even a ``KeyboardInterrupt``
     delivered inside a worker must come home as one structured error
     instead of killing the worker mid-protocol.
     """
     shard_index, kind, generation, block, faults = task
     try:
-        engine = _worker_state.get("engine")
-        if engine is None:
-            engine = create_backend(_worker_state["circ"],
-                                    _worker_state["base"])
-            _worker_state["engine"] = engine
-        if _worker_state.get("loaded") != (kind, generation):
-            if kind == "pairs":
-                engine.load_pairs(block)
-            else:
-                engine.load(block)
-            _worker_state["loaded"] = (kind, generation)
-        if faults:
-            matrix = _worker_query(engine, kind, faults)
-        else:  # empty shard: no query, just a 0-row block of the right width
-            matrix = DetectionMatrix.zeros(0, block.num_patterns)
-        return ("ok", shard_index, matrix.words)
+        with scoped_registry() as registry:
+            engine = _worker_state.get("engine")
+            if engine is None:
+                engine = create_backend(_worker_state["circ"],
+                                        _worker_state["base"])
+                _worker_state["engine"] = engine
+            if _worker_state.get("loaded") != (kind, generation):
+                if kind == "pairs":
+                    engine.load_pairs(block)
+                else:
+                    engine.load(block)
+                _worker_state["loaded"] = (kind, generation)
+            registry.counter(FAULTS_METRIC, _FAULTS_HELP).labels(
+                base=_worker_state["base"], kind=kind).inc(len(faults))
+            with span("fsim.shard", kind=kind, base=_worker_state["base"]):
+                if faults:
+                    matrix = _worker_query(engine, kind, faults)
+                else:  # empty shard: 0-row block of the right width
+                    matrix = DetectionMatrix.zeros(0, block.num_patterns)
+            return ("ok", shard_index, matrix.words, registry.snapshot())
     except BaseException as exc:  # noqa: BLE001 - crosses process boundary
         return ("error", shard_index, f"{type(exc).__name__}: {exc}",
                 traceback.format_exc())
@@ -341,34 +361,53 @@ class ShardedFaultSim:
     def _sharded_matrix(self, kind: str, faults: Sequence) -> DetectionMatrix:
         block = self._block(kind)
         if self.num_shards == 1 or len(faults) < self.min_faults:
-            return _worker_query(self._inline_engine(kind), kind, faults)
-        plan = plan_shards(len(faults), self.num_shards)
-        tasks = [
-            (index, kind, self._generation, block, list(faults[start:stop]))
-            for index, (start, stop) in enumerate(plan)
-        ]
-        pool = self._ensure_pool()
-        try:
-            results = pool.map(_simulate_shard, tasks)
-        except BaseException:
-            # Parent-side failure (KeyboardInterrupt included): reap the
-            # workers before propagating so nothing is orphaned.
-            self.close(terminate=True)
-            raise
-        errors = [r for r in results if r[0] == "error"]
-        if errors:
-            self.close(terminate=True)
-            __, index, summary, trace = errors[0]
-            start, stop = plan[index]
-            raise SimulationError(
-                f"parallel shard {index} (faults {start}:{stop}, base "
-                f"{self.base!r}) failed: {summary}\n{trace}"
-            )
-        parts = [
-            DetectionMatrix(words, block.num_patterns)
-            for __, __, words in results  # pool.map preserves task order
-        ]
-        return DetectionMatrix.concat_rows(parts, block.num_patterns)
+            get_registry().counter(FAULTS_METRIC, _FAULTS_HELP).labels(
+                base=self.base, kind=kind, shard="inline",
+            ).inc(len(faults))
+            with span("fsim.query", backend=self.name, kind=kind,
+                      shards="inline"):
+                return _worker_query(self._inline_engine(kind), kind, faults)
+        shards = str(self.num_shards)
+        with span("fsim.query", backend=self.name, kind=kind, shards=shards):
+            plan = plan_shards(len(faults), self.num_shards)
+            tasks = [
+                (index, kind, self._generation, block,
+                 list(faults[start:stop]))
+                for index, (start, stop) in enumerate(plan)
+            ]
+            if self._pool is None:
+                with span("fsim.pool_spinup", shards=shards):
+                    pool = self._ensure_pool()
+            else:
+                pool = self._ensure_pool()
+            try:
+                with span("fsim.shard_map", shards=shards):
+                    results = pool.map(_simulate_shard, tasks)
+            except BaseException:
+                # Parent-side failure (KeyboardInterrupt included): reap
+                # the workers before propagating so nothing is orphaned.
+                self.close(terminate=True)
+                raise
+            errors = [r for r in results if r[0] == "error"]
+            if errors:
+                self.close(terminate=True)
+                __, index, summary, trace = errors[0]
+                start, stop = plan[index]
+                raise SimulationError(
+                    f"parallel shard {index} (faults {start}:{stop}, base "
+                    f"{self.base!r}) failed: {summary}\n{trace}"
+                )
+            registry = get_registry()
+            for __, index, __, snapshot in results:
+                # Worker-local series come home with the row block; the
+                # shard label keeps per-worker resolution after merging.
+                registry.merge(snapshot, extra_labels={"shard": str(index)})
+            with span("fsim.concat", shards=shards):
+                parts = [
+                    DetectionMatrix(words, block.num_patterns)
+                    for __, __, words, __ in results  # map preserves order
+                ]
+                return DetectionMatrix.concat_rows(parts, block.num_patterns)
 
     # -- the FaultSimBackend surface ------------------------------------------
 

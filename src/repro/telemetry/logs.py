@@ -1,0 +1,72 @@
+"""Structured logging: one event, one line, human or JSON.
+
+Infrastructure role: the logging half of the observability layer.
+Every operational message — server access logs, drain notices, worker
+failures — goes through :func:`log_event`, which renders either a
+human-readable ``ts level event key=value ...`` line or, with
+``REPRO_LOG_FORMAT=json``, one JSON object per line (ready for log
+shippers).  The flow server emits one access-log line per request
+carrying method, path, status, latency, result source and run key —
+replacing :meth:`http.server.BaseHTTPRequestHandler.log_message`'s
+unstructured stderr writes (now routed here and silent by default).
+
+Stdlib only; no handler/formatter machinery — a line sink (stderr by
+default, injectable for tests) is the whole surface.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Any, Callable, Optional
+
+#: Environment variable selecting the log line format (``json`` or text).
+LOG_FORMAT_ENV_VAR = "REPRO_LOG_FORMAT"
+
+
+def log_format() -> str:
+    """The active format: ``"json"`` or ``"text"``."""
+    value = os.environ.get(LOG_FORMAT_ENV_VAR, "").strip().lower()
+    return "json" if value == "json" else "text"
+
+
+def _default_sink(line: str) -> None:
+    print(line, file=sys.stderr, flush=True)
+
+
+#: Where rendered lines go; tests may swap this for a collector.
+_sink: Callable[[str], None] = _default_sink
+
+
+def set_sink(sink: Optional[Callable[[str], None]]) -> Callable[[str], None]:
+    """Replace the line sink (``None`` restores stderr); returns the old."""
+    global _sink
+    old = _sink
+    _sink = sink if sink is not None else _default_sink
+    return old
+
+
+def format_event(event: str, level: str = "info",
+                 ts: Optional[float] = None, **fields: Any) -> str:
+    """Render one event in the active format (without emitting it)."""
+    ts = time.time() if ts is None else ts
+    if log_format() == "json":
+        document = {"ts": round(ts, 6), "level": level, "event": event}
+        for key, value in fields.items():
+            document[key] = value
+        return json.dumps(document, default=str, sort_keys=False)
+    stamp = time.strftime("%Y-%m-%dT%H:%M:%S", time.localtime(ts))
+    parts = [stamp, level.upper(), event]
+    for key, value in fields.items():
+        text = str(value)
+        if " " in text or '"' in text:
+            text = json.dumps(text)
+        parts.append(f"{key}={text}")
+    return " ".join(parts)
+
+
+def log_event(event: str, level: str = "info", **fields: Any) -> None:
+    """Emit one structured event line to the sink."""
+    _sink(format_event(event, level=level, **fields))

@@ -1,0 +1,393 @@
+"""The metrics registry: counters, gauges and latency histograms.
+
+Infrastructure role: the single source of truth for every number the
+observability layer reports.  A :class:`MetricsRegistry` holds metric
+*families* (one per metric name); each family holds labelled *series*
+(children), so ``repro_cache_requests_total{result="hit"}`` and
+``...{result="miss"}`` are two series of one counter family.  Everything
+is dependency-free and thread-safe: family creation is registry-locked,
+series updates are per-series-locked, and totals are exact under any
+thread interleaving (hammer-tested).
+
+Three verbs matter beyond plain updates:
+
+* :meth:`MetricsRegistry.snapshot` — a pure-JSON dump of every family
+  and series, the wire format worker processes use to send their local
+  registries home with shard results;
+* :meth:`MetricsRegistry.merge` — fold a snapshot in (counters and
+  histograms add, gauges overwrite), optionally stamping every incoming
+  series with extra labels (the sharded backend stamps ``shard="3"``);
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` / series lines, label values escaped), hand
+  rolled on stdlib only, serving ``GET /metrics``.
+
+Histograms use fixed log-scale latency buckets
+(:data:`DEFAULT_BUCKETS`, 100 µs to 60 s in a 1-2.5-5 progression) so
+any two histograms in the system merge without re-bucketing.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+#: Fixed log-scale latency buckets (seconds): a 1-2.5-5 progression per
+#: decade from 100 microseconds to one minute.  Shared by every
+#: histogram unless a family overrides them, so snapshots always merge.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005,
+    0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0,
+    10.0, 25.0, 60.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+class TelemetryError(ReproError):
+    """Misuse of the metrics registry (bad name, kind clash, bad merge)."""
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise TelemetryError(f"invalid metric name {name!r}")
+    return name
+
+
+def _label_key(labels: Mapping[str, Any]) -> Tuple[Tuple[str, str], ...]:
+    """Canonical child key: sorted (name, str(value)) pairs, validated."""
+    items = []
+    for key in sorted(labels):
+        if not _LABEL_RE.match(key):
+            raise TelemetryError(f"invalid label name {key!r}")
+        items.append((key, str(labels[key])))
+    return tuple(items)
+
+
+class _Series:
+    """Shared base of one labelled series: identity plus its own lock."""
+
+    __slots__ = ("labels", "_lock")
+
+    def __init__(self, labels: Tuple[Tuple[str, str], ...]):
+        self.labels = labels
+        self._lock = threading.Lock()
+
+
+class Counter(_Series):
+    """A monotonically increasing count (events, faults, bytes)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, labels: Tuple[Tuple[str, str], ...]):
+        super().__init__(labels)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the count."""
+        if amount < 0:
+            raise TelemetryError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """The current total."""
+        with self._lock:
+            return self._value
+
+
+class Gauge(_Series):
+    """A value that can go both ways (in-flight requests, bytes on disk)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, labels: Tuple[Tuple[str, str], ...]):
+        super().__init__(labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Move the gauge up by ``amount``."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Move the gauge down by ``amount``."""
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        """The current level."""
+        with self._lock:
+            return self._value
+
+
+class Histogram(_Series):
+    """A distribution over fixed buckets plus an exact sum and count."""
+
+    __slots__ = ("buckets", "counts", "_sum", "_count")
+
+    def __init__(self, labels: Tuple[Tuple[str, str], ...],
+                 buckets: Tuple[float, ...]):
+        super().__init__(labels)
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # +1: the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation (seconds, for latency histograms)."""
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self.counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def sum(self) -> float:
+        """Sum of every observed value."""
+        with self._lock:
+            return self._sum
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        with self._lock:
+            return self._count
+
+    def cumulative(self) -> List[int]:
+        """Cumulative bucket counts (the ``le=...`` series), +Inf last."""
+        with self._lock:
+            counts = list(self.counts)
+        total = 0
+        out = []
+        for c in counts:
+            total += c
+            out.append(total)
+        return out
+
+
+class MetricFamily:
+    """One named metric: kind, help text and its labelled series."""
+
+    def __init__(self, name: str, kind: str, help: str,
+                 buckets: Optional[Tuple[float, ...]] = None):
+        self.name = _check_name(name)
+        self.kind = kind
+        self.help = help
+        self.buckets = buckets
+        self._lock = threading.Lock()
+        self._series: Dict[Tuple[Tuple[str, str], ...], _Series] = {}
+
+    def labels(self, **labels: Any):
+        """The series for one label combination, created on first use."""
+        key = _label_key(labels)
+        with self._lock:
+            child = self._series.get(key)
+            if child is None:
+                if self.kind == "counter":
+                    child = Counter(key)
+                elif self.kind == "gauge":
+                    child = Gauge(key)
+                else:
+                    child = Histogram(key, self.buckets or DEFAULT_BUCKETS)
+                self._series[key] = child
+            return child
+
+    def series(self) -> List[_Series]:
+        """Every live series, in stable (sorted-label) order."""
+        with self._lock:
+            return [self._series[key] for key in sorted(self._series)]
+
+
+class MetricsRegistry:
+    """A set of metric families; the unit of snapshot/merge/exposition."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _family(self, name: str, kind: str, help: str,
+                buckets: Optional[Sequence[float]] = None) -> MetricFamily:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = MetricFamily(
+                    name, kind, help,
+                    tuple(buckets) if buckets is not None else None,
+                )
+                self._families[name] = family
+            elif family.kind != kind:
+                raise TelemetryError(
+                    f"metric {name!r} is a {family.kind}, not a {kind}"
+                )
+            return family
+
+    def counter(self, name: str, help: str = "") -> MetricFamily:
+        """The counter family ``name``, created on first use."""
+        return self._family(name, "counter", help)
+
+    def gauge(self, name: str, help: str = "") -> MetricFamily:
+        """The gauge family ``name``, created on first use."""
+        return self._family(name, "gauge", help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Optional[Sequence[float]] = None) -> MetricFamily:
+        """The histogram family ``name``, created on first use."""
+        return self._family(name, "histogram", help, buckets)
+
+    def families(self) -> List[MetricFamily]:
+        """Every family, sorted by name."""
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    # -- snapshot / merge -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A pure-JSON dump of every family and series.
+
+        This is the wire format worker processes return with their shard
+        results; :meth:`merge` is its inverse.
+        """
+        families = []
+        for family in self.families():
+            doc: Dict[str, Any] = {
+                "name": family.name, "kind": family.kind, "help": family.help,
+            }
+            series_docs = []
+            for series in family.series():
+                entry: Dict[str, Any] = {"labels": dict(series.labels)}
+                if isinstance(series, Histogram):
+                    with series._lock:
+                        entry["counts"] = list(series.counts)
+                        entry["sum"] = series._sum
+                        entry["count"] = series._count
+                else:
+                    entry["value"] = series.value
+                series_docs.append(entry)
+            if family.kind == "histogram":
+                doc["buckets"] = list(family.buckets or DEFAULT_BUCKETS)
+            doc["series"] = series_docs
+            families.append(doc)
+        return {"families": families}
+
+    def merge(self, snapshot: Mapping[str, Any],
+              extra_labels: Optional[Mapping[str, Any]] = None) -> None:
+        """Fold a :meth:`snapshot` in.
+
+        Counters and histogram contents *add*; gauges *overwrite* (last
+        merge wins — a gauge is a level, not a flow).  ``extra_labels``
+        are stamped onto every incoming series, which is how per-shard
+        worker registries stay distinguishable after the parent merge
+        (``extra_labels={"shard": "3"}``).
+        """
+        for doc in snapshot.get("families", ()):
+            kind = doc["kind"]
+            family = self._family(doc["name"], kind, doc.get("help", ""),
+                                  doc.get("buckets"))
+            for entry in doc.get("series", ()):
+                labels = dict(entry.get("labels", {}))
+                if extra_labels:
+                    labels.update(extra_labels)
+                series = family.labels(**labels)
+                if kind == "histogram":
+                    incoming = doc.get("buckets")
+                    if (incoming is not None
+                            and tuple(incoming) != series.buckets):
+                        raise TelemetryError(
+                            f"histogram {doc['name']!r} bucket bounds differ; "
+                            "cannot merge"
+                        )
+                    with series._lock:
+                        for i, c in enumerate(entry["counts"]):
+                            series.counts[i] += int(c)
+                        series._sum += float(entry["sum"])
+                        series._count += int(entry["count"])
+                elif kind == "counter":
+                    series.inc(float(entry["value"]))
+                else:
+                    series.set(float(entry["value"]))
+
+
+# -- Prometheus text exposition ------------------------------------------------
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return (value.replace("\\", r"\\")
+                 .replace("\n", r"\n")
+                 .replace('"', r'\"'))
+
+
+def _format_labels(labels: Iterable[Tuple[str, str]],
+                   extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    parts = [f'{k}="{escape_label_value(v)}"' for k, v in labels]
+    parts += [f'{k}="{escape_label_value(v)}"' for k, v in extra]
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(*registries: MetricsRegistry) -> str:
+    """The registries' contents in Prometheus text exposition format.
+
+    Families appearing in several registries are merged under one
+    ``# HELP``/``# TYPE`` header; series order is deterministic, so two
+    scrapes of an idle server produce byte-identical output.
+    """
+    by_name: Dict[str, List[MetricFamily]] = {}
+    for registry in registries:
+        for family in registry.families():
+            by_name.setdefault(family.name, []).append(family)
+    lines: List[str] = []
+    for name in sorted(by_name):
+        group = by_name[name]
+        first = group[0]
+        if any(f.kind != first.kind for f in group):
+            raise TelemetryError(
+                f"metric {name!r} registered with conflicting kinds"
+            )
+        if first.help:
+            lines.append(f"# HELP {name} {first.help}")
+        lines.append(f"# TYPE {name} {first.kind}")
+        for family in group:
+            for series in family.series():
+                if isinstance(series, Histogram):
+                    cumulative = series.cumulative()
+                    bounds = [_format_value(b) for b in series.buckets]
+                    bounds.append("+Inf")
+                    for bound, count in zip(bounds, cumulative):
+                        labels = _format_labels(series.labels,
+                                                (("le", bound),))
+                        lines.append(f"{name}_bucket{labels} {count}")
+                    labels = _format_labels(series.labels)
+                    lines.append(
+                        f"{name}_sum{labels} {_format_value(series.sum)}")
+                    lines.append(f"{name}_count{labels} {series.count}")
+                else:
+                    labels = _format_labels(series.labels)
+                    lines.append(
+                        f"{name}{labels} {_format_value(series.value)}")
+    return "\n".join(lines) + "\n"

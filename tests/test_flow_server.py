@@ -484,3 +484,163 @@ class TestEndToEndLifecycle:
     def test_healthz_ok(self, server_factory):
         server = server_factory()
         assert get_json(server, "/healthz")[1]["status"] == "ok"
+
+
+def get_text(server: FlowServer, path: str):
+    with urllib.request.urlopen(base_url(server) + path,
+                                timeout=60) as response:
+        return (response.status, response.headers.get("Content-Type"),
+                response.read().decode("utf-8"))
+
+
+def settle(server: FlowServer, timeout: float = 5.0) -> None:
+    """Wait for handler threads to finish their accounting.
+
+    A response reaches the client a hair before the handler's
+    ``finally`` decrements the in-flight gauge and emits the access
+    log; tests that assert on settled state wait that hair out.
+    """
+    deadline = time.monotonic() + timeout
+    while server._inflight_gauge.value != 0:
+        if time.monotonic() > deadline:
+            raise AssertionError("in-flight gauge never settled")
+        time.sleep(0.005)
+
+
+def sample_value(text: str, prefix: str) -> float:
+    """The value of the one exposition sample starting with ``prefix``."""
+    matches = [line for line in text.splitlines()
+               if line.startswith(prefix)]
+    assert len(matches) == 1, f"{prefix!r} matched {matches!r}"
+    return float(matches[0].rsplit(" ", 1)[1])
+
+
+class TestMetricsEndpoint:
+    def test_metrics_parses_with_no_duplicate_series(self, server_factory):
+        from test_telemetry import parse_prometheus
+
+        server = server_factory()
+        post_run(server, tiny_config())
+        post_run(server, tiny_config())
+        status, content_type, text = get_text(server, "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        samples = parse_prometheus(text)
+        keys = [line.rsplit(" ", 1)[0] for line in samples]
+        assert len(keys) == len(set(keys))
+
+    def test_metrics_covers_requests_cache_and_stages(self, server_factory):
+        server = server_factory()
+        config = tiny_config()
+        post_run(server, config)   # cold: computed
+        post_run(server, config)   # warm: memo hit
+        settle(server)
+        text = get_text(server, "/metrics")[2]
+        assert sample_value(
+            text, 'repro_http_requests_total{route="/run"}') == 2
+        assert sample_value(
+            text, 'repro_http_run_served_total{source="computed"}') == 1
+        assert sample_value(
+            text, 'repro_http_run_served_total{source="cache"}') == 1
+        assert sample_value(
+            text, 'repro_http_request_seconds_count'
+                  '{route="/run",source="computed"}') == 1
+        assert sample_value(text, "repro_http_inflight_requests") == 0
+        assert sample_value(
+            text, 'repro_cache_puts_total{outcome="written"}') > 0
+        assert sample_value(text, "repro_cache_disk_bytes") > 0
+        # Flow stage spans from the handler thread reach the process
+        # registry the endpoint renders.
+        assert "repro_flow_stage_seconds_bucket" in text
+
+    def test_metrics_and_stats_read_the_same_series(self, server_factory):
+        server = server_factory()
+        config = tiny_config()
+        post_run(server, config)
+        post_run(server, config)
+        stats = get_json(server, "/stats")[1]
+        assert stats["metrics_endpoint"] == "/metrics"
+        text = get_text(server, "/metrics")[2]
+        assert sample_value(
+            text, 'repro_http_requests_total{route="/run"}') == \
+            stats["requests"]["requests_total"]
+        assert sample_value(
+            text, 'repro_http_run_served_total{source="cache"}') == \
+            stats["requests"]["served_cache"]
+        assert sample_value(
+            text, 'repro_cache_requests_total{result="hit"}') == \
+            stats["cache"]["hits"]
+
+    def test_metrics_scrapes_are_stable_on_an_idle_server(
+            self, server_factory):
+        server = server_factory()
+        config = tiny_config()
+        post_run(server, config)
+        post_run(server, config)
+        settle(server)
+        first = get_text(server, "/metrics")[2]
+        second = get_text(server, "/metrics")[2]
+        # A scrape records nothing, so back-to-back scrapes of an idle
+        # warm server are byte-identical.
+        assert first == second
+
+    def test_errors_are_labelled_by_status(self, server_factory):
+        server = server_factory()
+        error_of(lambda: get_json(server, "/nope"))
+        text = get_text(server, "/metrics")[2]
+        assert sample_value(
+            text, 'repro_http_errors_total{status="404"}') == 1
+        assert sample_value(
+            text, 'repro_http_requests_total{route="other"}') == 1
+        stats = get_json(server, "/stats")[1]
+        assert stats["requests"]["errors"] == 1
+
+
+class TestAccessLog:
+    def test_verbose_server_emits_structured_access_lines(
+            self, server_factory, monkeypatch):
+        from repro.telemetry import set_sink
+
+        monkeypatch.setenv("REPRO_LOG_FORMAT", "json")
+        lines = []
+        old_sink = set_sink(lines.append)
+        try:
+            server = server_factory(quiet=False)
+            config = tiny_config()
+            post_run(server, config)
+            get_json(server, "/stats")
+            # The access line lands just after the response reaches the
+            # client; wait for both routes' lines before detaching.
+            deadline = time.monotonic() + 5
+            while not all(f'"{route}"' in "".join(lines)
+                          for route in ("/run", "/stats")):
+                if time.monotonic() > deadline:
+                    break
+                time.sleep(0.005)
+        finally:
+            set_sink(None)
+        assert old_sink is not None
+        events = [json.loads(line) for line in lines]
+        access = [e for e in events if e["event"] == "http_access"]
+        run_lines = [e for e in access if e["route"] == "/run"]
+        assert len(run_lines) == 1
+        entry = run_lines[0]
+        assert entry["method"] == "POST"
+        assert entry["status"] == 200
+        assert entry["source"] == "computed"
+        assert entry["seconds"] > 0
+        assert isinstance(entry["key"], str) and len(entry["key"]) == 64
+        stats_lines = [e for e in access if e["route"] == "/stats"]
+        assert stats_lines and stats_lines[0]["method"] == "GET"
+
+    def test_quiet_server_stays_silent(self, server_factory):
+        from repro.telemetry import set_sink
+
+        lines = []
+        set_sink(lines.append)
+        try:
+            server = server_factory()
+            post_run(server, tiny_config())
+        finally:
+            set_sink(None)
+        assert lines == []

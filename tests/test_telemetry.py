@@ -1,0 +1,373 @@
+"""Unit contracts of :mod:`repro.telemetry`: exact registries, spans, logs.
+
+The registry's headline promise is *exactness*: totals are correct
+under any thread interleaving (hammer-tested here), snapshots merge
+losslessly (the shard-worker wire protocol), and the Prometheus text
+rendering is deterministic, escaped and duplicate-free.  The span API's
+promises: nesting follows the call stack, the measured duration is
+reusable by callers, and the disabled fast path records nothing.
+"""
+
+import json
+import re
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    SPAN_METRIC,
+    TelemetryError,
+    TraceCollector,
+    enabled,
+    format_event,
+    get_registry,
+    log_event,
+    render_prometheus,
+    scoped_registry,
+    set_enabled,
+    set_sink,
+    span,
+    tracing,
+)
+from repro.telemetry.registry import escape_label_value
+
+
+# -- counters / gauges / histograms -------------------------------------------
+
+def test_counter_increments_and_rejects_negative():
+    registry = MetricsRegistry()
+    counter = registry.counter("t_total", "help").labels(kind="x")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(TelemetryError):
+        counter.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    gauge = MetricsRegistry().gauge("t_gauge").labels()
+    gauge.set(10)
+    gauge.inc(5)
+    gauge.dec(2)
+    assert gauge.value == 13
+
+
+def test_histogram_bucket_placement_and_cumulative():
+    histogram = MetricsRegistry().histogram("t_seconds").labels()
+    histogram.observe(0.0001)   # exactly the first bound -> bucket 0
+    histogram.observe(0.0002)   # second bucket (le=0.00025)
+    histogram.observe(120.0)    # beyond 60s -> +Inf bucket
+    assert histogram.count == 3
+    assert histogram.sum == pytest.approx(120.0003)
+    cumulative = histogram.cumulative()
+    assert len(cumulative) == len(DEFAULT_BUCKETS) + 1
+    assert cumulative[0] == 1
+    assert cumulative[1] == 2
+    assert cumulative[-2] == 2   # nothing else below 60s
+    assert cumulative[-1] == 3   # +Inf sees everything
+    assert cumulative == sorted(cumulative)
+
+
+def test_histogram_custom_buckets():
+    histogram = MetricsRegistry().histogram(
+        "t_sized", buckets=(1.0, 10.0)).labels()
+    histogram.observe(5)
+    assert histogram.cumulative() == [0, 1, 1]
+
+
+def test_label_identity_is_order_and_type_insensitive():
+    family = MetricsRegistry().counter("t_labels")
+    assert family.labels(a=1, b="x") is family.labels(b="x", a=1)
+    assert family.labels(a="1", b="x") is family.labels(a=1, b="x")
+    assert family.labels(a=2, b="x") is not family.labels(a=1, b="x")
+
+
+def test_kind_clash_and_bad_names_raise():
+    registry = MetricsRegistry()
+    registry.counter("t_thing")
+    with pytest.raises(TelemetryError):
+        registry.gauge("t_thing")
+    with pytest.raises(TelemetryError):
+        registry.counter("bad name")
+    with pytest.raises(TelemetryError):
+        registry.counter("t_ok").labels(**{"0bad": 1})
+
+
+# -- thread exactness ---------------------------------------------------------
+
+def _hammer(target, num_threads=8):
+    threads = [threading.Thread(target=target) for _ in range(num_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return num_threads
+
+
+def test_counter_total_exact_under_thread_hammer():
+    counter = MetricsRegistry().counter("t_hammer_total").labels()
+    per_thread = 10_000
+    n = _hammer(lambda: [counter.inc() for _ in range(per_thread)])
+    assert counter.value == n * per_thread
+
+
+def test_histogram_totals_exact_under_thread_hammer():
+    histogram = MetricsRegistry().histogram("t_hammer_seconds").labels()
+    per_thread = 5_000
+
+    def work():
+        for i in range(per_thread):
+            histogram.observe(0.001 * (i % 7))
+
+    n = _hammer(work)
+    assert histogram.count == n * per_thread
+    assert histogram.cumulative()[-1] == n * per_thread
+    expected_sum = n * sum(0.001 * (i % 7) for i in range(per_thread))
+    assert histogram.sum == pytest.approx(expected_sum)
+
+
+def test_gauge_balanced_hammer_returns_to_zero():
+    gauge = MetricsRegistry().gauge("t_hammer_gauge").labels()
+
+    def work():
+        for _ in range(5_000):
+            gauge.inc()
+            gauge.dec()
+
+    _hammer(work)
+    assert gauge.value == 0
+
+
+# -- snapshot / merge ---------------------------------------------------------
+
+def _sample_registry():
+    registry = MetricsRegistry()
+    registry.counter("t_requests_total", "reqs").labels(route="/run").inc(3)
+    registry.gauge("t_inflight", "gauge").labels().set(2)
+    histogram = registry.histogram("t_latency_seconds", "lat").labels()
+    histogram.observe(0.002)
+    histogram.observe(0.2)
+    return registry
+
+
+def test_snapshot_is_pure_json_and_merge_is_its_inverse():
+    snapshot = _sample_registry().snapshot()
+    restored = json.loads(json.dumps(snapshot))  # wire round-trip
+    target = MetricsRegistry()
+    target.merge(restored)
+    assert target.counter("t_requests_total").labels(route="/run").value == 3
+    assert target.gauge("t_inflight").labels().value == 2
+    histogram = target.histogram("t_latency_seconds").labels()
+    assert histogram.count == 2
+    assert histogram.sum == pytest.approx(0.202)
+
+
+def test_merge_adds_counters_and_histograms_but_sets_gauges():
+    target = _sample_registry()
+    target.merge(_sample_registry().snapshot())
+    assert target.counter("t_requests_total").labels(route="/run").value == 6
+    assert target.histogram("t_latency_seconds").labels().count == 4
+    # A gauge is a level, not a flow: last merge wins.
+    assert target.gauge("t_inflight").labels().value == 2
+
+
+def test_merge_stamps_extra_labels():
+    target = MetricsRegistry()
+    for shard in range(3):
+        target.merge(_sample_registry().snapshot(),
+                     extra_labels={"shard": str(shard)})
+    family = target.counter("t_requests_total")
+    assert len(family.series()) == 3
+    assert sum(s.value for s in family.series()) == 9
+    assert family.labels(route="/run", shard="1").value == 3
+
+
+def test_merge_rejects_mismatched_histogram_buckets():
+    source = MetricsRegistry()
+    source.histogram("t_lat", buckets=(1.0, 2.0)).labels().observe(1.5)
+    target = MetricsRegistry()
+    target.histogram("t_lat", buckets=(5.0, 6.0)).labels()
+    with pytest.raises(TelemetryError):
+        target.merge(source.snapshot())
+
+
+# -- Prometheus text exposition -----------------------------------------------
+
+#: One sample line: name{labels} value  (labels optional).
+_SAMPLE_RE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})?'
+    r' (-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|-Inf)$'
+)
+
+
+def parse_prometheus(text: str):
+    """Validate the exposition text; returns the non-comment lines."""
+    assert text.endswith("\n")
+    samples = []
+    for line in text.strip("\n").split("\n"):
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            continue
+        assert _SAMPLE_RE.match(line), f"unparseable sample line: {line!r}"
+        samples.append(line)
+    return samples
+
+
+def test_render_parses_and_has_no_duplicate_series():
+    text = render_prometheus(_sample_registry())
+    samples = parse_prometheus(text)
+    keys = [line.rsplit(" ", 1)[0] for line in samples]
+    assert len(keys) == len(set(keys))
+    assert 't_requests_total{route="/run"} 3' in samples
+    assert text.count("# TYPE t_requests_total counter") == 1
+
+
+def test_render_merges_families_across_registries_under_one_header():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("t_shared_total", "help").labels(side="a").inc(1)
+    b.counter("t_shared_total", "help").labels(side="b").inc(2)
+    text = render_prometheus(a, b)
+    assert text.count("# TYPE t_shared_total counter") == 1
+    assert 't_shared_total{side="a"} 1' in text
+    assert 't_shared_total{side="b"} 2' in text
+
+
+def test_render_escapes_label_values():
+    assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+    registry = MetricsRegistry()
+    registry.counter("t_esc_total").labels(path='say "hi"\\\n').inc()
+    text = render_prometheus(registry)
+    parse_prometheus(text)
+    assert 't_esc_total{path="say \\"hi\\"\\\\\\n"} 1' in text
+
+
+def test_render_histogram_series_shape():
+    registry = MetricsRegistry()
+    registry.histogram("t_lat_seconds", buckets=(0.1, 1.0)).labels(
+        route="/run").observe(0.5)
+    text = render_prometheus(registry)
+    parse_prometheus(text)
+    assert 't_lat_seconds_bucket{route="/run",le="0.1"} 0' in text
+    assert 't_lat_seconds_bucket{route="/run",le="1"} 1' in text
+    assert 't_lat_seconds_bucket{route="/run",le="+Inf"} 1' in text
+    assert 't_lat_seconds_sum{route="/run"} 0.5' in text
+    assert 't_lat_seconds_count{route="/run"} 1' in text
+
+
+def test_render_is_deterministic():
+    registry = _sample_registry()
+    assert render_prometheus(registry) == render_prometheus(registry)
+
+
+def test_render_rejects_conflicting_kinds_across_registries():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("t_conflict")
+    b.gauge("t_conflict")
+    with pytest.raises(TelemetryError):
+        render_prometheus(a, b)
+
+
+# -- spans --------------------------------------------------------------------
+
+def test_span_records_into_current_registry():
+    with scoped_registry() as registry:
+        with span("unit.work", kind="test") as sp:
+            pass
+    assert sp.seconds is not None and sp.seconds >= 0
+    series = registry.histogram(SPAN_METRIC).labels(span="unit.work")
+    assert series.count == 1
+    assert series.sum == pytest.approx(sp.seconds)
+
+
+def test_span_nesting_follows_the_call_stack():
+    with scoped_registry(), tracing() as collector:
+        with span("outer", layer=1):
+            with span("inner.a"):
+                pass
+            with span("inner.b"):
+                pass
+        with span("second_root"):
+            pass
+    assert [n["name"] for n in collector.roots] == ["outer", "second_root"]
+    outer = collector.roots[0]
+    assert [n["name"] for n in outer["children"]] == ["inner.a", "inner.b"]
+    assert outer["labels"] == {"layer": "1"}
+    assert outer["seconds"] >= sum(c["seconds"] for c in outer["children"])
+    depths = [depth for depth, _ in collector.walk()]
+    assert depths == [0, 1, 1, 0]
+    assert collector.total_seconds() == pytest.approx(
+        outer["seconds"] + collector.roots[1]["seconds"])
+    tree = collector.format_tree()
+    assert "inner.a" in tree and "layer=1" in tree
+    assert json.loads(json.dumps(collector.to_dict()))["spans"]
+
+
+def test_disabled_span_is_a_recording_free_noop():
+    assert enabled()
+    set_enabled(False)
+    try:
+        with scoped_registry() as registry, tracing() as collector:
+            with span("ghost") as sp:
+                pass
+        assert sp.seconds is None
+        assert registry.families() == []
+        assert collector.roots == []
+    finally:
+        set_enabled(True)
+
+
+def test_scoped_registry_restores_the_previous_scope():
+    default = get_registry()
+    with scoped_registry() as outer:
+        assert get_registry() is outer
+        with scoped_registry() as inner:
+            assert get_registry() is inner
+        assert get_registry() is outer
+    assert get_registry() is default
+
+
+def test_scoped_registry_is_thread_local():
+    seen = {}
+
+    def other_thread():
+        seen["registry"] = get_registry()
+
+    with scoped_registry() as registry:
+        t = threading.Thread(target=other_thread)
+        t.start()
+        t.join()
+    assert seen["registry"] is not registry
+
+
+# -- structured logs ----------------------------------------------------------
+
+def test_format_event_text_line():
+    line = format_event("cache_prune", level="info", ts=0.0,
+                        removed=3, root="/tmp/with space")
+    assert " INFO cache_prune " in line
+    assert "removed=3" in line
+    assert 'root="/tmp/with space"' in line
+
+
+def test_format_event_json_line(monkeypatch):
+    monkeypatch.setenv("REPRO_LOG_FORMAT", "json")
+    line = format_event("http_access", status=200, seconds=0.01)
+    document = json.loads(line)
+    assert document["event"] == "http_access"
+    assert document["level"] == "info"
+    assert document["status"] == 200
+    assert document["seconds"] == 0.01
+
+
+def test_log_event_goes_to_the_injected_sink():
+    lines = []
+    old = set_sink(lines.append)
+    try:
+        log_event("unit_test", detail="x")
+    finally:
+        set_sink(None)
+    assert old is not None
+    assert len(lines) == 1 and "unit_test" in lines[0]
