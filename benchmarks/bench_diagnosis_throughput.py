@@ -1,0 +1,196 @@
+"""A/B harness for the batched diagnosis pipeline.
+
+Measures high-volume fault diagnosis — thousands of failing devices
+against one pass/fail dictionary — comparing:
+
+* **single** — the per-device :func:`repro.diagnosis.locate.diagnose`
+  loop (one numpy pass per device, Python candidate lists);
+* **batched** — :func:`repro.diagnosis.pipeline.diagnose_batch`: one
+  call scoring every device against every compressed response class
+  (signature dedup + one sgemm-style pass + vectorized top-k).
+
+Both sides are verified bit-identical — same candidates, same float
+scores, same order, for **every** device — before any timing counts.
+The batched side is timed as one cold call including dictionary
+compression, the shape a server pays on its first request; steady-state
+traffic (memoized compression) is strictly faster.  The acceptance gate
+requires the batch to be at least ``10x`` faster than the per-device
+loop on the gated scenario (>= 2000 devices against >= 1000 faults).
+Results, including the dictionary compression ratio and batch
+devices/sec, go to ``results/diagnosis_throughput.json``.
+
+Standalone (writes the JSON, prints the table, exits non-zero if the
+gate is enforced and missed)::
+
+    PYTHONPATH=src python benchmarks/bench_diagnosis_throughput.py
+    PYTHONPATH=src python benchmarks/bench_diagnosis_throughput.py --quick
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List
+
+from repro.circuit import GeneratorSpec, generate_circuit
+from repro.diagnosis import (
+    build_pass_fail_dictionary,
+    compress_dictionary,
+    diagnose,
+    diagnose_batch,
+    random_fail_log,
+)
+from repro.faults import collapsed_fault_list
+from repro.sim.patterns import PatternSet
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "results" / \
+    "diagnosis_throughput.json"
+
+#: The acceptance bar: batched >= 10x the per-device diagnose() loop on
+#: the gated scenario.
+ACCEPTANCE_SPEEDUP = 10.0
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One (circuit size, fault count, test count, device count) point."""
+
+    name: str
+    num_gates: int
+    max_faults: int
+    num_tests: int
+    num_devices: int
+    drop_probability: float
+    gated: bool
+
+
+#: The gated point meets the acceptance floor (>= 2000 devices against
+#: >= 1000 faults); the noisy point shows throughput when per-test
+#: escapes fragment the device-signature dedup.
+SCENARIOS = (
+    Scenario("2kf-256t-4kd", num_gates=1200, max_faults=2000,
+             num_tests=256, num_devices=4000, drop_probability=0.0,
+             gated=True),
+    Scenario("2kf-256t-4kd-noisy", num_gates=1200, max_faults=2000,
+             num_tests=256, num_devices=4000, drop_probability=0.1,
+             gated=False),
+)
+
+#: The --quick subset: still past the acceptance floor, CI-sized.
+QUICK_SCENARIOS = (
+    Scenario("1kf-128t-2kd-quick", num_gates=700, max_faults=1000,
+             num_tests=128, num_devices=2000, drop_probability=0.0,
+             gated=True),
+)
+
+
+def run_scenario(scenario: Scenario, repeats: int) -> Dict:
+    circ = generate_circuit(GeneratorSpec(
+        name=f"bench_diag_{scenario.num_gates}", num_inputs=48,
+        num_gates=scenario.num_gates, num_outputs=24, seed=2005,
+    ))
+    faults = collapsed_fault_list(circ)[: scenario.max_faults]
+    tests = PatternSet.random(circ.num_inputs, scenario.num_tests,
+                              seed=2005)
+    dictionary = build_pass_fail_dictionary(circ, faults, tests,
+                                            backend="numpy")
+    compression = compress_dictionary(dictionary).compression_ratio
+    log = random_fail_log(dictionary, scenario.num_devices, seed=2005,
+                          drop_probability=scenario.drop_probability)
+
+    # Correctness first: the timed configurations are bit-identical for
+    # every device — same candidates, same float scores, same order.
+    batch = diagnose_batch(dictionary, log)
+    for device in range(scenario.num_devices):
+        single = diagnose(dictionary, log.observed_mask(device))
+        if single.candidates != batch.report(device).candidates:
+            raise AssertionError(
+                f"{scenario.name}: device {device} ranking differs "
+                f"between the batched and single-device paths"
+            )
+
+    single_best = batch_best = float("inf")
+    for __ in range(repeats):
+        started = time.perf_counter()
+        # Cold call: includes dictionary compression and signature
+        # dedup, exactly what a server's first request pays.
+        diagnose_batch(dictionary, log)
+        batch_best = min(batch_best, time.perf_counter() - started)
+
+        started = time.perf_counter()
+        for device in range(scenario.num_devices):
+            diagnose(dictionary, log.observed_mask(device))
+        single_best = min(single_best, time.perf_counter() - started)
+
+    return {
+        "scenario": scenario.name,
+        "num_gates": circ.num_gates,
+        "num_faults": len(faults),
+        "num_tests": scenario.num_tests,
+        "num_devices": scenario.num_devices,
+        "drop_probability": scenario.drop_probability,
+        "compression_ratio": compression,
+        "num_unique_signatures": batch.num_unique_signatures,
+        "single_seconds": single_best,
+        "batch_seconds": batch_best,
+        "single_devices_per_sec": (scenario.num_devices / single_best
+                                   if single_best else float("inf")),
+        "batch_devices_per_sec": (scenario.num_devices / batch_best
+                                  if batch_best else float("inf")),
+        "speedup": (single_best / batch_best if batch_best
+                    else float("inf")),
+        "gated": scenario.gated,
+    }
+
+
+def main(argv: List[str]) -> int:
+    quick = "--quick" in argv
+    scenarios = QUICK_SCENARIOS if quick else SCENARIOS
+    repeats = 1 if quick else 2
+    # The batch path is pure vectorized numpy on one core — no
+    # parallelism to waive for; the gate is always enforced.
+    gate_enforced = True
+
+    rows = [run_scenario(s, repeats) for s in scenarios]
+
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps({
+        "acceptance_speedup": ACCEPTANCE_SPEEDUP,
+        "baseline": "per-device diagnose() loop",
+        "gate_enforced": gate_enforced,
+        "gate_waived_reason": None,
+        "quick": quick,
+        "rows": rows,
+    }, indent=2) + "\n")
+
+    header = (f"{'scenario':20s} {'faults':>7s} {'tests':>6s} "
+              f"{'devices':>8s} {'ratio':>6s} {'single':>8s} "
+              f"{'batch':>8s} {'dev/s':>8s} {'speedup':>8s}")
+    print(f"gate={'enforced' if gate_enforced else 'waived'}")
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(f"{row['scenario']:20s} {row['num_faults']:7d} "
+              f"{row['num_tests']:6d} {row['num_devices']:8d} "
+              f"{row['compression_ratio']:5.2f}x "
+              f"{row['single_seconds']:7.2f}s "
+              f"{row['batch_seconds']:7.3f}s "
+              f"{row['batch_devices_per_sec']:8.0f} "
+              f"{row['speedup']:7.2f}x")
+    print(f"\nwrote {RESULTS_PATH}")
+
+    if gate_enforced:
+        failed = [row for row in rows
+                  if row["gated"] and row["speedup"] < ACCEPTANCE_SPEEDUP]
+        if failed:
+            print(f"FAIL: gated scenarios under {ACCEPTANCE_SPEEDUP}x: "
+                  f"{[r['scenario'] for r in failed]}")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

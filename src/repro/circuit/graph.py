@@ -73,6 +73,29 @@ def fanout_stems(circ: CompiledCircuit) -> List[int]:
     return [n for n in range(circ.num_nodes) if len(circ.fanout[n]) > 1]
 
 
+def output_reach_masks(circ: CompiledCircuit) -> List[int]:
+    """Per-node bitmask of reachable primary outputs (one reverse sweep).
+
+    Bit ``k`` of entry ``n`` is set iff output ``circ.outputs[k]`` lies
+    in the forward cone of node ``n`` — equivalently, iff ``n`` is in
+    ``transitive_fanin(circ, [circ.outputs[k]])``.  One linear sweep in
+    decreasing id order (reverse topological) answers the backward-cone
+    membership question for *every* (node, output) pair at once, which
+    is what the diagnosis chain ranker needs: walking causal chains
+    backward from failing observation points without one graph traversal
+    per candidate site.
+    """
+    masks = [0] * circ.num_nodes
+    for k, out in enumerate(circ.outputs):
+        masks[out] |= 1 << k
+    for node in range(circ.num_nodes - 1, -1, -1):
+        if masks[node]:
+            bits = masks[node]
+            for src in circ.fanin[node]:
+                masks[src] |= bits
+    return masks
+
+
 def depth_to_output(circ: CompiledCircuit) -> List[int]:
     """Per-node minimum gate distance to a primary output (PO = 0).
 

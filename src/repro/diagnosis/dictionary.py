@@ -25,12 +25,39 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Sequence, Tuple, Union
 
 from repro.circuit.flatten import CompiledCircuit
-from repro.errors import SimulationError
+from repro.errors import DiagnosisInputError, SimulationError
 from repro.faults.model import Fault
-from repro.fsim.backend import FaultSimBackend, detection_words
+from repro.fsim.backend import FaultSimBackend, resolve_backend
 from repro.sim.patterns import PatternSet
 from repro.utils.bitvec import iter_bits
 from repro.utils.detmatrix import DetectionMatrix
+
+
+def validate_observed_mask(observed_mask: int, num_tests: int) -> int:
+    """Check one observed failing-test mask against the test-set width.
+
+    A mask with bits set at or beyond ``num_tests`` names phantom tests
+    the dictionary never simulated; scoring it silently would produce
+    confident nonsense, so it is rejected with a
+    :class:`~repro.errors.DiagnosisInputError` (a ``ValueError``) naming
+    the offending bits.  Returns the validated mask.
+    """
+    if not isinstance(observed_mask, int):
+        raise DiagnosisInputError(
+            f"observed mask must be an int, got "
+            f"{type(observed_mask).__name__}"
+        )
+    if observed_mask < 0:
+        raise DiagnosisInputError(
+            f"observed mask must be non-negative, got {observed_mask}"
+        )
+    if observed_mask >> num_tests:
+        bad = [t for t in iter_bits(observed_mask) if t >= num_tests]
+        raise DiagnosisInputError(
+            f"observed mask has bits at tests {bad[:8]}, but the "
+            f"dictionary covers only tests 0..{num_tests - 1}"
+        )
+    return observed_mask
 
 
 @dataclass(frozen=True)
@@ -97,27 +124,38 @@ class FaultDictionary:
 
 
 def build_pass_fail_dictionary(circ: CompiledCircuit,
-                               faults: Sequence[Fault],
-                               tests: PatternSet,
+                               faults: Sequence,
+                               tests,
                                backend: Union[str, FaultSimBackend, None] = None
                                ) -> PassFailDictionary:
     """Simulate every fault against the test set (no dropping).
 
     ``backend`` selects the fault-simulation engine — dictionary builds
     are whole-fault-universe batch jobs, exactly the shape the batched
-    numpy engine is fastest at.
+    numpy engine is fastest at.  ``tests`` may be any registered pattern
+    container (:class:`~repro.sim.patterns.PatternSet` for stuck-at,
+    :class:`~repro.sim.patterns.PatternPairSet` for transition faults);
+    the registry dispatches to the matching detection contract, so the
+    diagnosis pipeline works for every registered fault model.
     """
+    from repro.faults.registry import query_detection_matrix
+
     if tests.num_inputs != circ.num_inputs:
         raise SimulationError(
             f"test set has {tests.num_inputs} inputs, "
             f"circuit has {circ.num_inputs}"
         )
-    masks = tuple(detection_words(circ, faults, tests, backend=backend))
-    return PassFailDictionary(
+    engine = resolve_backend(circ, backend)
+    matrix = query_detection_matrix(engine, tests, faults)
+    dictionary = PassFailDictionary(
         num_tests=tests.num_patterns,
         faults=tuple(faults),
-        fail_masks=masks,
+        fail_masks=tuple(matrix.to_bigints()),
     )
+    # The packed matrix is already in hand — seed the lazy property so
+    # consumers never re-pack the big-int masks.
+    object.__setattr__(dictionary, "_fail_matrix", matrix)
+    return dictionary
 
 
 def build_dictionary(circ: CompiledCircuit, faults: Sequence[Fault],

@@ -25,6 +25,7 @@ from repro.circuit.flatten import CompiledCircuit
 from repro.diagnosis.dictionary import (
     FaultDictionary,
     PassFailDictionary,
+    validate_observed_mask,
 )
 from repro.errors import SimulationError
 from repro.faults.model import Fault
@@ -36,14 +37,24 @@ from repro.utils.detmatrix import DetectionMatrix, popcount64
 
 @dataclass(frozen=True)
 class DiagnosisReport:
-    """Ranked candidate faults for one observed failure."""
+    """Ranked candidate faults for one observed failure.
+
+    ``candidates`` is deterministically ordered: score descending, ties
+    broken by the fault's position in the dictionary (stable across
+    runs, and bit-identical between :func:`diagnose` and the batched
+    :func:`repro.diagnosis.pipeline.diagnose_batch` path).
+    """
 
     observed_mask: int
     candidates: Tuple[Tuple[Fault, float], ...]  # (fault, score), sorted
 
     @property
     def best(self) -> Optional[Fault]:
-        """Highest-scoring candidate (None when nothing matches at all)."""
+        """Highest-scoring candidate (None when nothing matches at all).
+
+        Ties are resolved by dictionary position, so ``best`` is
+        deterministic.
+        """
         return self.candidates[0][0] if self.candidates else None
 
     def exact_matches(self) -> List[Fault]:
@@ -51,7 +62,7 @@ class DiagnosisReport:
         return [f for f, score in self.candidates if score == 1.0]
 
     def top(self, k: int) -> List[Fault]:
-        """The ``k`` best candidates."""
+        """The ``k`` best candidates (deterministic under score ties)."""
         return [f for f, __ in self.candidates[:k]]
 
 
@@ -77,9 +88,14 @@ def diagnose(dictionary: PassFailDictionary, observed_mask: int,
     computed in one pass over the dictionary's packed fail matrix (the
     per-fault big-int loop became three vectorized word operations);
     the scores are identical to :func:`_match_score` per candidate.
+
+    Masks with bits at or beyond ``num_tests`` (phantom tests) raise a
+    :class:`~repro.errors.DiagnosisInputError` (a ``ValueError``).
+    Candidates are ordered by score descending, ties broken by
+    dictionary position — deterministic, and shared bit-for-bit with the
+    batched pipeline.
     """
-    if observed_mask < 0 or observed_mask >> dictionary.num_tests:
-        raise SimulationError("observed mask has bits outside the test set")
+    validate_observed_mask(observed_mask, dictionary.num_tests)
     predicted = dictionary.fail_matrix.words
     observed = DetectionMatrix.from_bigints(
         [observed_mask], dictionary.num_tests
@@ -95,10 +111,13 @@ def diagnose(dictionary: PassFailDictionary, observed_mask: int,
     scores = np.where(exact, 1.0, scores)
     nonzero_rows = dictionary.fail_matrix.any_rows()
     candidates = np.flatnonzero(nonzero_rows & (scores > 0.0))
+    # ``candidates`` is already in dictionary-position order, so a
+    # stable sort on score alone yields the deterministic
+    # (score desc, position asc) order the batch path reproduces.
     scored: List[Tuple[Fault, float]] = [
         (dictionary.faults[i], float(scores[i])) for i in candidates
     ]
-    scored.sort(key=lambda pair: (-pair[1], pair[0]))
+    scored.sort(key=lambda pair: -pair[1])
     return DiagnosisReport(
         observed_mask=observed_mask,
         candidates=tuple(scored[:max_candidates]),

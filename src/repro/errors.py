@@ -38,6 +38,16 @@ class SimulationError(ReproError):
     """Raised when simulation inputs are inconsistent with the circuit."""
 
 
+class DiagnosisInputError(SimulationError, ValueError):
+    """Raised for observed tester data inconsistent with the dictionary.
+
+    Doubles as a :class:`ValueError` because the typical cause is a bad
+    argument (an observed mask with bits at or beyond ``num_tests``, a
+    fail-log entry naming a phantom test) rather than a failed
+    computation; existing ``SimulationError`` handlers keep working.
+    """
+
+
 class FaultModelError(ReproError):
     """Raised for invalid fault specifications (bad site, bad value)."""
 

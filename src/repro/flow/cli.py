@@ -8,6 +8,7 @@ Usage (installed console script, or ``python -m repro``)::
     repro order   --circuit irs208 --order dynm           # just the permutation
     repro testgen --circuit irs208 --write-tests t.txt    # tests + pattern file
     repro report  --circuit irs208 --order 0dynm          # coverage curve / AVE
+    repro diagnose --circuit irs208 --devices 500         # batch diagnosis
     repro serve   --port 8321                             # flow-as-a-service
     repro cache stats                                     # artifact inventory
     repro cache prune --stage testgen                     # drop one stage
@@ -352,6 +353,74 @@ def _render_report(flow: Flow, config: FlowConfig):
     return document, text
 
 
+def _render_diagnose(flow: Flow, config: FlowConfig,
+                     args: argparse.Namespace):
+    """``repro diagnose``: batched diagnosis of a fail log (or synthetic).
+
+    Builds the config's diagnosis context (dictionary + compressed form
+    + chain ranker), reads ``--fail-log`` or synthesizes ``--devices``
+    failing chips, and runs the batched pipeline once.
+    """
+    from repro.diagnosis import FailLog, random_fail_log
+    from repro.flow.diagnose import (
+        build_diagnosis_context,
+        diagnosis_document,
+    )
+
+    context = build_diagnosis_context(flow)
+    if args.fail_log:
+        log = FailLog.from_jsonl(args.fail_log)
+        if log.num_tests != context.num_tests:
+            raise ReproError(
+                f"fail log {args.fail_log} covers {log.num_tests} tests, "
+                f"the config's dictionary {context.num_tests}"
+            )
+    else:
+        log = random_fail_log(
+            context.dictionary, args.devices,
+            seed=args.log_seed,
+            drop_probability=args.drop_probability,
+            circ=flow.circuit() if args.chain else None,
+        )
+    if args.write_fail_log:
+        log.write_jsonl(args.write_fail_log)
+    document = diagnosis_document(
+        context, log, max_candidates=args.top, chain=args.chain,
+    )
+    summary = document["summary"]
+    lines = [
+        f"devices    {summary['num_devices']} "
+        f"({summary['num_unique_signatures']} unique signatures)",
+        f"dictionary {summary['num_faults']} faults over "
+        f"{summary['num_tests']} tests, {summary['num_classes']} "
+        f"response classes (compression "
+        f"{summary['compression_ratio']:.2f}x)",
+        f"throughput {summary['devices_per_sec']:.0f} devices/sec "
+        f"({summary['seconds'] * 1000.0:.1f} ms)",
+    ]
+    if args.chain:
+        lines.append(f"chain      re-ranked {summary['chain_devices']} "
+                     f"device(s) by backward-cone evidence")
+    if "accuracy" in summary:
+        lines.append("accuracy   " + "  ".join(
+            f"{name} {rate:.2f}"
+            for name, rate in summary["accuracy"].items()
+        ))
+    for record in document["devices"][:3]:
+        if record["candidates"]:
+            top = record["candidates"][0]
+            lines.append(f"  {record['device']}: fault {top['fault']} "
+                         f"at node {top['site']} "
+                         f"(score {top['score']:.3f}, "
+                         f"{len(record['candidates'])} candidate(s))")
+        else:
+            lines.append(f"  {record['device']}: no candidates")
+    if len(document["devices"]) > 3:
+        lines.append(f"  ... {len(document['devices']) - 3} more "
+                     f"device(s) (use --json for all)")
+    return document, "\n".join(lines)
+
+
 def _write_tests(flow: Flow, destination: str) -> None:
     """Persist the generated test set via the pattern I/O module."""
     from repro.sim.pattern_io import write_pattern_pairs, write_patterns
@@ -459,6 +528,34 @@ def make_parser() -> argparse.ArgumentParser:
                             help="coverage-curve report of a test set")
     _add_config_arguments(report)
 
+    diagnose = sub.add_parser(
+        "diagnose",
+        help="batched fault diagnosis of a fail log against a config's "
+             "dictionary")
+    _add_config_arguments(diagnose)
+    diagnose.add_argument("--fail-log", metavar="FILE",
+                          help="JSONL fail log to diagnose "
+                               "(repro.fail_log/v1)")
+    diagnose.add_argument("--devices", type=int, default=100, metavar="N",
+                          help="without --fail-log: synthesize N failing "
+                               "devices (default 100)")
+    diagnose.add_argument("--log-seed", type=int, default=0, metavar="N",
+                          help="seed of the synthetic fail log (default 0)")
+    diagnose.add_argument("--drop-probability", type=float, default=0.0,
+                          metavar="F",
+                          help="per-test escape probability of synthetic "
+                               "devices (default 0)")
+    diagnose.add_argument("--write-fail-log", metavar="FILE",
+                          help="persist the (possibly synthetic) fail log "
+                               "as JSONL")
+    diagnose.add_argument("--top", type=int, default=10, metavar="K",
+                          help="candidates reported per device "
+                               "(default 10)")
+    diagnose.add_argument("--chain", action="store_true",
+                          help="re-rank tied candidates by backward-cone "
+                               "(causal-chain) evidence from failing "
+                               "outputs")
+
     serve = sub.add_parser(
         "serve", help="run the flow HTTP service (POST /run, GET /stats)")
     serve.add_argument("--host", default="127.0.0.1", metavar="HOST",
@@ -515,6 +612,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             "order": _render_order,
             "testgen": _render_testgen,
             "report": _render_report,
+            "diagnose": lambda flow, config:
+                _render_diagnose(flow, config, args),
         }
         return _run_style_command(args, renderers[args.command])
     except ReproError as exc:

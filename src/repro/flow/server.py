@@ -25,6 +25,14 @@ Endpoints (all JSON):
 * ``POST /run?stream=1`` — same, but as an SSE-style event stream:
   one ``stage`` event per finished pipeline stage (fed from the Flow's
   stage observer), then one ``result`` event with the full document.
+* ``POST /diagnose`` — batched fault diagnosis against a config's
+  dictionary: the body carries a ``config`` (the same ``repro.flow/v1``
+  document) plus a ``devices`` list of observed failing-test records;
+  the response is a ``repro.diagnosis/v1`` document with per-device
+  ranked candidate faults.  The dictionary (circuit x faults x generated
+  tests) is memoized per run key, so steady-state traffic pays only the
+  vectorized batch scoring; scored devices show up in ``GET /metrics``
+  as ``repro_diagnosis_devices_total``.
 * ``GET /stats`` — cache hit/miss/put counters, dedupe and request
   totals, memo occupancy, drain state (JSON; the counter keys are
   deprecated aliases of the registry series ``GET /metrics`` exposes —
@@ -106,6 +114,7 @@ class FlowServer(ThreadingHTTPServer):
                  memo_size: int = 128,
                  quiet: bool = True,
                  follower_timeout: Optional[float] = None,
+                 diagnosis_memo_size: int = 8,
                  flow_factory=None):
         super().__init__(address, FlowRequestHandler)
         if cache is None or isinstance(cache, ArtifactCache):
@@ -139,6 +148,11 @@ class FlowServer(ThreadingHTTPServer):
         self._memo: "collections.OrderedDict[str, Dict[str, Any]]" = \
             collections.OrderedDict()
         self._memo_size = memo_size
+        #: Diagnosis contexts (dictionary + compressed + chain ranker)
+        #: per run key.  Few and large, so a small dedicated LRU.
+        self._diagnosis_memo: "collections.OrderedDict[str, Any]" = \
+            collections.OrderedDict()
+        self._diagnosis_memo_size = diagnosis_memo_size
         self._state_lock = threading.Lock()
         self._draining = False
         self._active_runs = 0
@@ -214,6 +228,22 @@ class FlowServer(ThreadingHTTPServer):
             self._memo.move_to_end(key)
             while len(self._memo) > self._memo_size:
                 self._memo.popitem(last=False)
+
+    def diagnosis_context_get(self, key: str):
+        with self._state_lock:
+            context = self._diagnosis_memo.get(key)
+            if context is not None:
+                self._diagnosis_memo.move_to_end(key)
+            return context
+
+    def diagnosis_context_put(self, key: str, context: Any) -> None:
+        if self._diagnosis_memo_size <= 0:
+            return
+        with self._state_lock:
+            self._diagnosis_memo[key] = context
+            self._diagnosis_memo.move_to_end(key)
+            while len(self._diagnosis_memo) > self._diagnosis_memo_size:
+                self._diagnosis_memo.popitem(last=False)
 
     # -- drain / shutdown ----------------------------------------------------
 
@@ -376,7 +406,7 @@ class FlowRequestHandler(BaseHTTPRequestHandler):
 
     # -- request body --------------------------------------------------------
 
-    def _read_config(self) -> FlowConfig:
+    def _read_json_body(self) -> Any:
         length_header = self.headers.get("Content-Length")
         if length_header is None:
             raise _HTTPError(411, "Content-Length required")
@@ -396,9 +426,11 @@ class FlowRequestHandler(BaseHTTPRequestHandler):
                      f"{self.server.max_body}")
         body = self.rfile.read(length)
         try:
-            data = json.loads(body.decode("utf-8"))
+            return json.loads(body.decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as exc:
             raise _HTTPError(400, f"request body is not valid JSON: {exc}")
+
+    def _parse_config(self, data: Any) -> FlowConfig:
         try:
             config = FlowConfig.from_dict(data).validate()
         except ReproError as exc:
@@ -408,6 +440,9 @@ class FlowRequestHandler(BaseHTTPRequestHandler):
                 400, "circuit.kind 'bench' reads local files and is "
                      "disabled on this server (start with --allow-bench)")
         return config
+
+    def _read_config(self) -> FlowConfig:
+        return self._parse_config(self._read_json_body())
 
     # -- handlers ------------------------------------------------------------
 
@@ -461,6 +496,9 @@ class FlowRequestHandler(BaseHTTPRequestHandler):
         started = time.perf_counter()
         self._source = ""
         self._status = 0
+        if parsed.path == "/diagnose":
+            self._do_diagnose(started)
+            return
         if parsed.path != "/run":
             self.server.count_route("other")
             self._send_error_json(404, f"unknown path {parsed.path!r}")
@@ -493,6 +531,96 @@ class FlowRequestHandler(BaseHTTPRequestHandler):
             self.server.observe_request("/run", self._source, seconds)
             self._access_log("POST", "/run", self._status, self._source,
                              seconds)
+
+    # -- the diagnose path ---------------------------------------------------
+
+    def _do_diagnose(self, started: float) -> None:
+        """``POST /diagnose``: batched diagnosis against one config.
+
+        Body: ``{"config": <repro.flow/v1>, "devices": [{"device": id,
+        "failing_tests": [...], "failing_outputs": [...]}, ...],
+        "max_candidates": K, "chain": bool}``.  The diagnosis context
+        (dictionary + compressed form + chain ranker) is memoized per
+        run key, so only the first request for a config pays the
+        dictionary simulation; every request's devices run through the
+        batched pipeline and land in ``repro_diagnosis_devices_total``.
+        """
+        self.server.count_route("/diagnose")
+        self.server._inflight_gauge.inc()
+        try:
+            try:
+                document = self._serve_diagnose()
+            except _HTTPError as exc:
+                self._send_error_json(exc.status, str(exc), exc.headers)
+                return
+            self._send_json(200, document)
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+        finally:
+            self.server._inflight_gauge.dec()
+            seconds = time.perf_counter() - started
+            self.server.observe_request("/diagnose", self._source, seconds)
+            self._access_log("POST", "/diagnose", self._status,
+                             self._source, seconds)
+
+    def _serve_diagnose(self) -> Dict[str, Any]:
+        from repro.errors import DiagnosisInputError
+        from repro.flow.diagnose import (
+            build_diagnosis_context,
+            diagnosis_document,
+            parse_fail_entries,
+        )
+
+        data = self._read_json_body()
+        if not isinstance(data, dict):
+            raise _HTTPError(400, "request body must be a JSON object")
+        if "config" not in data:
+            raise _HTTPError(400, "request body is missing 'config'")
+        if "devices" not in data:
+            raise _HTTPError(400, "request body is missing 'devices'")
+        config = self._parse_config(data["config"])
+        max_candidates = data.get("max_candidates", 10)
+        if not isinstance(max_candidates, int) \
+                or isinstance(max_candidates, bool) or max_candidates < 0:
+            raise _HTTPError(
+                400, "max_candidates must be a non-negative integer")
+        chain = data.get("chain", False)
+        if not isinstance(chain, bool):
+            raise _HTTPError(400, "chain must be a boolean")
+
+        try:
+            flow = self.server.flow_factory(config, None)
+            key = flow.run_key()
+        except ReproError as exc:
+            raise _HTTPError(400, f"invalid flow config: {exc}")
+        self._run_key = key
+
+        if not self.server.enter_run():
+            raise _HTTPError(503, "server is draining",
+                             {"Retry-After": "1"})
+        try:
+            context = self.server.diagnosis_context_get(key)
+            source = "cache"
+            if context is None:
+                source = "computed"
+                try:
+                    context = build_diagnosis_context(flow)
+                except ReproError as exc:
+                    raise _HTTPError(400, f"flow execution failed: {exc}")
+                self.server.diagnosis_context_put(key, context)
+            try:
+                log = parse_fail_entries(data["devices"],
+                                         context.num_tests)
+                document = diagnosis_document(
+                    context, log, max_candidates=max_candidates,
+                    chain=chain, source=source,
+                )
+            except DiagnosisInputError as exc:
+                raise _HTTPError(400, str(exc))
+            self._source = source
+            return document
+        finally:
+            self.server.exit_run()
 
     # -- the run path --------------------------------------------------------
 

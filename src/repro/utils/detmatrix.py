@@ -260,6 +260,32 @@ class DetectionMatrix:
         out[~has] = -1
         return out
 
+    def unique_rows(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Deduplicate rows into equivalence classes: ``(reps, inverse)``.
+
+        ``reps`` holds the row index of each distinct row's *first*
+        occurrence, in increasing row order, so class ``c``'s
+        representative row is ``words[reps[c]]``; ``inverse`` maps every
+        row to its class index (``words[reps[inverse[r]]] == words[r]``
+        for all ``r``).  This is the compression primitive of the
+        diagnosis pipeline: faults with identical detection (or fail)
+        signatures collapse to one representative row, and scoring runs
+        once per class instead of once per fault.
+        """
+        if self.num_faults == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        __, first, inverse = np.unique(
+            self.words, axis=0, return_index=True, return_inverse=True
+        )
+        # np.unique orders classes by row *content*; re-rank them by
+        # first occurrence so class order is stable under row order.
+        order = np.argsort(first, kind="stable")
+        rank = np.empty(order.size, dtype=np.int64)
+        rank[order] = np.arange(order.size, dtype=np.int64)
+        return (first[order].astype(np.int64),
+                rank[inverse.reshape(-1).astype(np.int64)])
+
     def row_indices(self, row: int) -> np.ndarray:
         """Sorted pattern indices of row ``row``'s set bits (int64)."""
         bits = np.unpackbits(

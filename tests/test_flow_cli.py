@@ -187,3 +187,82 @@ class TestErrorPaths:
         code, _, err = _run(capsys, "run", "--config", str(bad))
         assert code == 2
         assert "max_vector" in err
+
+
+class TestDiagnoseCommand:
+    def test_text_output(self, capsys, tmp_path):
+        code, out, _ = _run(
+            capsys, "diagnose", *GEN, "--cache-dir", str(tmp_path),
+            "--devices", "12",
+        )
+        assert code == 0
+        assert "devices    12" in out
+        assert "dictionary" in out and "response classes" in out
+        assert "throughput" in out and "devices/sec" in out
+        assert "accuracy" in out  # synthetic logs carry true positions
+
+    def test_json_schema(self, capsys, tmp_path):
+        code, out, _ = _run(
+            capsys, "diagnose", *GEN, "--cache-dir", str(tmp_path),
+            "--devices", "8", "--json",
+        )
+        assert code == 0
+        document = json.loads(out)
+        assert document["schema"] == "repro.diagnosis/v1"
+        assert document["summary"]["num_devices"] == 8
+        assert len(document["devices"]) == 8
+        first = document["devices"][0]
+        assert {"device", "candidates"} <= set(first)
+        top = first["candidates"][0]
+        assert {"fault", "site", "score"} <= set(top)
+
+    def test_fail_log_round_trip(self, capsys, tmp_path):
+        log_path = tmp_path / "fails.jsonl"
+        code, first, _ = _run(
+            capsys, "diagnose", *GEN, "--cache-dir", str(tmp_path),
+            "--devices", "6", "--write-fail-log", str(log_path),
+            "--json",
+        )
+        assert code == 0
+        assert log_path.exists()
+        code, second, _ = _run(
+            capsys, "diagnose", *GEN, "--cache-dir", str(tmp_path),
+            "--fail-log", str(log_path), "--json",
+        )
+        assert code == 0
+        original = json.loads(first)["devices"]
+        replayed = json.loads(second)["devices"]
+        for a, b in zip(original, replayed):
+            assert a["device"] == b["device"]
+            assert a["candidates"] == b["candidates"]
+
+    def test_chain_flag(self, capsys, tmp_path):
+        code, out, _ = _run(
+            capsys, "diagnose", *GEN, "--cache-dir", str(tmp_path),
+            "--devices", "10", "--chain", "--json",
+        )
+        assert code == 0
+        summary = json.loads(out)["summary"]
+        assert summary["chain_devices"] == 10
+
+    def test_top_truncates(self, capsys, tmp_path):
+        code, out, _ = _run(
+            capsys, "diagnose", *GEN, "--cache-dir", str(tmp_path),
+            "--devices", "5", "--top", "2", "--json",
+        )
+        assert code == 0
+        for record in json.loads(out)["devices"]:
+            assert len(record["candidates"]) <= 2
+
+    def test_mismatched_fail_log_rejected(self, capsys, tmp_path):
+        log_path = tmp_path / "wrong.jsonl"
+        log_path.write_text(
+            '{"schema": "repro.fail_log/v1", "num_tests": 9999}\n'
+            '{"device": "chipX", "failing_tests": [0]}\n'
+        )
+        code, _, err = _run(
+            capsys, "diagnose", *GEN, "--cache-dir", str(tmp_path),
+            "--fail-log", str(log_path),
+        )
+        assert code == 2
+        assert "9999" in err

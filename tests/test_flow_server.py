@@ -644,3 +644,117 @@ class TestAccessLog:
         finally:
             set_sink(None)
         assert lines == []
+
+
+def post_diagnose(server: FlowServer, payload: dict):
+    request = urllib.request.Request(
+        base_url(server) + "/diagnose",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestDiagnoseEndpoint:
+    def diagnose_payload(self, **overrides):
+        payload = {
+            "config": tiny_config().to_dict(),
+            "devices": [
+                {"device": "chipA", "failing_tests": [0, 2]},
+                {"device": "chipB", "failing_tests": [1],
+                 "failing_outputs": [0]},
+            ],
+        }
+        payload.update(overrides)
+        return payload
+
+    def test_cold_then_warm_context(self, server_factory):
+        server = server_factory()
+        status, first = post_diagnose(server, self.diagnose_payload())
+        assert status == 200
+        assert first["schema"] == "repro.diagnosis/v1"
+        assert first["source"] == "computed"
+        assert first["fault_model"] == "stuck_at"
+        assert len(first["devices"]) == 2
+        assert first["devices"][0]["device"] == "chipA"
+        assert first["summary"]["num_devices"] == 2
+        assert first["summary"]["compression_ratio"] >= 1.0
+
+        __, second = post_diagnose(server, self.diagnose_payload())
+        assert second["source"] == "cache"
+        assert second["devices"] == first["devices"]
+
+    def test_batch_matches_direct_pipeline(self, server_factory):
+        from repro.flow.diagnose import build_diagnosis_context
+        from repro.diagnosis import diagnose
+
+        server = server_factory()
+        __, document = post_diagnose(server, self.diagnose_payload())
+        context = build_diagnosis_context(Flow(tiny_config()))
+        report = diagnose(context.dictionary, 0b101)
+        expected = [
+            {"fault": [f.node, f.pin, f.value], "site": f.node,
+             "score": score}
+            for f, score in report.candidates
+        ]
+        assert document["devices"][0]["candidates"] == expected
+
+    def test_chain_flag_counts_devices(self, server_factory):
+        server = server_factory()
+        __, document = post_diagnose(
+            server, self.diagnose_payload(chain=True))
+        assert document["summary"]["chain_devices"] == 1
+
+    def test_max_candidates_truncates(self, server_factory):
+        server = server_factory()
+        __, document = post_diagnose(
+            server, self.diagnose_payload(max_candidates=1))
+        assert all(len(record["candidates"]) <= 1
+                   for record in document["devices"])
+
+    @pytest.mark.parametrize("mutate, message", [
+        (lambda p: p.pop("config"), "missing 'config'"),
+        (lambda p: p.pop("devices"), "missing 'devices'"),
+        (lambda p: p.update(devices="nope"), "must be a list"),
+        (lambda p: p.update(devices=[{"failing_tests": [10 ** 6]}]),
+         "out of range"),
+        (lambda p: p.update(max_candidates=-2), "max_candidates"),
+        (lambda p: p.update(chain="yes"), "chain must be a boolean"),
+    ])
+    def test_bad_requests_get_400(self, server_factory, mutate, message):
+        server = server_factory()
+        payload = self.diagnose_payload()
+        mutate(payload)
+        status, document = error_of(
+            lambda: post_diagnose(server, payload))
+        assert status == 400
+        assert message in document["error"]
+
+    def test_draining_server_refuses(self, server_factory):
+        server = server_factory()
+        server.begin_drain()
+        status, __ = error_of(
+            lambda: post_diagnose(server, self.diagnose_payload()))
+        assert status == 503
+
+    def test_metrics_show_devices_and_route(self, server_factory):
+        server = server_factory()
+        post_diagnose(server, self.diagnose_payload())
+        settle(server)
+        __, __t, text = get_text(server, "/metrics")
+        assert sample_value(
+            text, "repro_diagnosis_devices_total") >= 2.0
+        assert sample_value(
+            text, 'repro_http_requests_total{route="/diagnose"}') == 1.0
+
+    def test_context_memo_is_lru_bounded(self, server_factory):
+        server = server_factory(diagnosis_memo_size=1)
+        first = self.diagnose_payload()
+        other = self.diagnose_payload(
+            config=tiny_config(gen_seed=2).to_dict())
+        assert post_diagnose(server, first)[1]["source"] == "computed"
+        assert post_diagnose(server, other)[1]["source"] == "computed"
+        # The first config's context was evicted by the second.
+        assert post_diagnose(server, first)[1]["source"] == "computed"
+        assert post_diagnose(server, first)[1]["source"] == "cache"
