@@ -1,0 +1,181 @@
+"""Resilience-hook overhead gate: disarmed hooks must cost < 2%.
+
+The resilience layer threads chaos probes (:func:`repro.resilience.fire`)
+through production hot paths — the cache write/read path, sharded
+dispatch, the server's leader compute.  Its contract is that *doing
+nothing* is nearly free: with no plan installed a probe is one
+module-global load plus an ``is None`` branch; with sites armed at
+probability 0.0 it additionally pays the plan lookup and the capped
+draw, but still never injects.
+
+A wall-clock A/B of two full flow runs cannot resolve this honestly:
+the probes on a flow's path number in the tens while the run takes
+seconds, so the true signal (microseconds) sits orders of magnitude
+below scheduler noise.  This gate therefore measures the components
+directly and composes them:
+
+* one instrumented flow run counts how many probes its path actually
+  executes (and how long the run takes);
+* tight loops measure the per-probe cost in both modes (no plan
+  installed, and every site armed at p=0.0);
+* overhead = probes_per_run x cost_per_probe / run_seconds, gated
+  at < 2% for both modes (in practice it is ~0.001%).
+
+Records everything to ``results/resilience_overhead.json`` and exits
+non-zero above the gate.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_resilience_overhead.py
+
+Under pytest-benchmark (statistical timing of the armed probe)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_resilience_overhead.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.flow import CircuitSpec, Flow, FlowConfig, USpec
+from repro.resilience import ChaosPlan, active_plan, chaos_plan
+from repro.resilience import chaos
+from repro.resilience.chaos import SITES
+
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "results" / \
+    "resilience_overhead.json"
+
+#: Acceptance bar for both modes, as a fraction of flow runtime.
+MAX_OVERHEAD = 0.02
+
+#: Probe-loop iterations per timing rep (min over REPS reps is used).
+PROBE_ITERS = 200_000
+REPS = 5
+
+#: An uncached flow exercising every hooked layer; small enough that
+#: the probe-counting run keeps CI fast.
+CONFIG = FlowConfig(
+    circuit=CircuitSpec(kind="generator", name="bench_resilience",
+                        num_inputs=12, num_gates=150, num_outputs=8,
+                        gen_seed=47, hardness=0.03),
+    u=USpec(max_vectors=1024),
+    seed=2005,
+)
+
+
+def _armed_p0_plan() -> ChaosPlan:
+    """Every site armed at probability 0.0: probes pay the full plan
+    lookup and the capped draw, yet never inject."""
+    return ChaosPlan({site: 0.0 for site in SITES})
+
+
+def count_probes_in_flow() -> dict:
+    """One uncached flow run with a counting wrapper around ``fire``.
+
+    Returns the run's wall-clock seconds and per-site probe counts —
+    the empirical probe density of the production path.
+    """
+    counts = {site: 0 for site in SITES}
+    real_fire = chaos.fire
+
+    def counting_fire(site, **detail):
+        counts[site] += 1
+        return real_fire(site, **detail)
+
+    root = tempfile.mkdtemp(prefix="bench-resilience-")
+    chaos.fire = counting_fire
+    try:
+        started = time.perf_counter()
+        result = Flow(CONFIG, cache=root).run()
+        seconds = time.perf_counter() - started
+    finally:
+        chaos.fire = real_fire
+        shutil.rmtree(root, ignore_errors=True)
+    assert result.tests.num_tests > 0
+    return {"seconds": seconds, "counts": counts,
+            "total": sum(counts.values())}
+
+
+def _probe_seconds() -> float:
+    """Wall-clock of PROBE_ITERS probe calls on the current plan state."""
+    fire = chaos.fire
+    started = time.perf_counter()
+    for _ in range(PROBE_ITERS):
+        fire("cache.write.enospc")
+    return time.perf_counter() - started
+
+
+def probe_cost() -> dict:
+    """Per-call probe cost: hooks off (no plan) vs armed at p=0.0."""
+    off_times, armed_times = [], []
+    _probe_seconds()  # warm-up
+    for _ in range(REPS):
+        off_times.append(_probe_seconds())
+        with chaos_plan(_armed_p0_plan()):
+            armed_times.append(_probe_seconds())
+    return {
+        "hooks_off_ns": min(off_times) / PROBE_ITERS * 1e9,
+        "armed_p0_ns": min(armed_times) / PROBE_ITERS * 1e9,
+    }
+
+
+def run_benchmark() -> dict:
+    assert active_plan() is None, \
+        "run this benchmark without REPRO_CHAOS set"
+    flow = count_probes_in_flow()
+    probes = probe_cost()
+    per_run = flow["total"]
+    off_overhead = (per_run * probes["hooks_off_ns"] * 1e-9
+                    / flow["seconds"])
+    armed_overhead = (per_run * probes["armed_p0_ns"] * 1e-9
+                      / flow["seconds"])
+    return {
+        "benchmark": "resilience_overhead",
+        "config": CONFIG.to_dict(),
+        "reps": REPS,
+        "probe_iters": PROBE_ITERS,
+        "flow_seconds": round(flow["seconds"], 4),
+        "probes_per_run": flow["counts"],
+        "probes_per_run_total": per_run,
+        "hooks_off_probe_ns": round(probes["hooks_off_ns"], 1),
+        "armed_p0_probe_ns": round(probes["armed_p0_ns"], 1),
+        "hooks_off_overhead": off_overhead,
+        "armed_p0_overhead": armed_overhead,
+        "max_overhead": MAX_OVERHEAD,
+    }
+
+
+def main() -> int:
+    """Run, record the JSON, enforce the gate."""
+    record = run_benchmark()
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(record, indent=1) + "\n")
+    print(f"flow run        : {record['flow_seconds']:8.3f} s "
+          f"({record['probes_per_run_total']} probes on its path)")
+    print(f"probe, hooks off: {record['hooks_off_probe_ns']:8.1f} ns")
+    print(f"probe, armed p=0: {record['armed_p0_probe_ns']:8.1f} ns")
+    print(f"overhead off    : {record['hooks_off_overhead'] * 100:.6f} % "
+          f"(gate < {record['max_overhead'] * 100:.0f} %)")
+    print(f"overhead armed  : {record['armed_p0_overhead'] * 100:.6f} %")
+    print(f"recorded -> {RESULTS_PATH}")
+    if (record["hooks_off_overhead"] >= MAX_OVERHEAD
+            or record["armed_p0_overhead"] >= MAX_OVERHEAD):
+        print("FAIL: resilience hook overhead above the gate",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def test_armed_p0_probe(benchmark):
+    """pytest-benchmark entry: the armed-at-p0 probe loop."""
+    with chaos_plan(_armed_p0_plan()):
+        benchmark.pedantic(_probe_seconds, rounds=3, iterations=1)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,3 +58,11 @@ class AtpgError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment harness for unknown circuits or bad config."""
+
+
+class ResilienceError(ReproError):
+    """Raised by the resilience layer for bad chaos specs or policies.
+
+    Also the base of :class:`repro.resilience.chaos.ChaosInjected`, the
+    error a fault-injection site raises to simulate a component crash.
+    """

@@ -32,6 +32,21 @@ every hit and put appends one line, and :meth:`ArtifactCache.prune`
 accepts a byte budget (``max_bytes``) that evicts least-recently-used
 artifacts first until the cache fits.
 
+Degradation: a cache that cannot write — ``ENOSPC``, a read-only
+filesystem, a permission flip under a running server — must never turn
+into request failures.  Any ``OSError`` on the artifact write path flips
+the instance into a sticky *pass-through* mode: subsequent puts
+short-circuit (counted under ``repro_cache_puts_total{outcome="degraded"}``),
+reads keep working against whatever is already on disk, and the flow
+recomputes what it cannot persist.  Ledger appends and prunes absorb
+``OSError`` the same way without flipping the sticky flag (the ledger
+is advisory).  Every absorbed error increments
+``repro_cache_degraded_total{op=...}`` and logs one structured line per
+op; :meth:`ArtifactCache.reset_degraded` re-arms writes after the
+operator fixes the disk.  The ``cache.write.enospc`` and
+``cache.read.corrupt`` chaos sites (:mod:`repro.resilience.chaos`)
+inject exactly these failures for tests and CI smoke runs.
+
 Telemetry: every cache instance records into a
 :class:`repro.telemetry.MetricsRegistry` (private by default, injectable
 for aggregation) — hit/miss and put outcomes as counters
@@ -47,6 +62,7 @@ registry series under the historical key names (``hits`` / ``misses`` /
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
@@ -56,7 +72,8 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.telemetry import MetricsRegistry
+from repro.resilience import chaos as _chaos
+from repro.telemetry import MetricsRegistry, log_event
 
 try:  # POSIX advisory locks; per open-file-description, so threads contend too
     import fcntl
@@ -206,6 +223,43 @@ class ArtifactCache:
         self._disk_bytes = self.registry.gauge(
             "repro_cache_disk_bytes",
             "Artifact bytes on disk (refreshed by stats()/scrapes).")
+        self._degraded_counter = self.registry.counter(
+            "repro_cache_degraded_total",
+            "OSErrors absorbed by the cache write path, by op.")
+        self._degraded = False
+        self._degraded_logged: set = set()
+        self._degraded_lock = threading.Lock()
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the write path is in sticky pass-through mode."""
+        return self._degraded
+
+    def reset_degraded(self) -> None:
+        """Re-arm the write path after the underlying disk is fixed."""
+        with self._degraded_lock:
+            self._degraded = False
+            self._degraded_logged.clear()
+
+    def _note_write_error(self, op: str, exc: OSError, *,
+                          sticky: bool = False) -> None:
+        """Count (and once per op, log) an absorbed write-path OSError.
+
+        ``sticky=True`` additionally flips the cache into pass-through
+        mode: further puts short-circuit until :meth:`reset_degraded`.
+        """
+        self._degraded_counter.labels(op=op).inc()
+        with self._degraded_lock:
+            first = op not in self._degraded_logged
+            if first:
+                self._degraded_logged.add(op)
+            if sticky:
+                self._degraded = True
+        if first:
+            name = errno.errorcode.get(exc.errno, "") if exc.errno else ""
+            log_event("cache_degraded", level="warning", op=op,
+                      sticky=sticky, errno=name or exc.errno,
+                      error=str(exc), root=str(self.root))
 
     def _path(self, stage: str, key: str) -> Path:
         return self.root / stage / f"{key}.json"
@@ -246,7 +300,7 @@ class ArtifactCache:
     # -- ledger --------------------------------------------------------------
 
     def _ledger_append(self, event: str, stage: str, key: str) -> None:
-        if not self.ledger_enabled:
+        if not self.ledger_enabled or self._degraded:
             return
         line = canonical_json({
             "event": event, "stage": stage, "key": key, "ts": time.time(),
@@ -256,10 +310,10 @@ class ArtifactCache:
             with _FileLock(path.with_suffix(".lock")):
                 with open(path, "a") as handle:
                     handle.write(line + "\n")
-        except OSError:
+        except OSError as exc:
             # The ledger is advisory (it only sharpens LRU pruning);
             # never let it fail a read or write of real artifacts.
-            pass
+            self._note_write_error("ledger", exc)
 
     def _ledger_access_times(self) -> Dict[Tuple[str, str], float]:
         """Last recorded access per (stage, key); empty if no ledger."""
@@ -325,6 +379,8 @@ class ArtifactCache:
         except (FileNotFoundError, OSError):
             self._count("misses")
             return None
+        if _chaos.fire("cache.read.corrupt", stage=stage):
+            text = text[: len(text) // 2]  # simulate a torn/garbled file
         try:
             document = json.loads(text)
             if (not isinstance(document, dict)
@@ -335,12 +391,17 @@ class ArtifactCache:
             # Corrupt cache entry: recover by deleting, caller recomputes.
             # Taking the key lock keeps the unlink from racing a concurrent
             # writer's rename (we would delete the fresh artifact).
-            with _FileLock(self._lock_path(stage, key)):
-                if self._read_valid(path, key) is None:
-                    try:
-                        path.unlink()
-                    except OSError:
-                        pass
+            try:
+                with _FileLock(self._lock_path(stage, key)):
+                    if self._read_valid(path, key) is None:
+                        try:
+                            path.unlink()
+                        except OSError:
+                            pass
+            except OSError as exc:
+                # Even taking the lock can fail (read-only filesystem);
+                # a corrupt entry we cannot delete is still just a miss.
+                self._note_write_error("recover", exc)
             self._count("misses")
             return None
         self._count("hits")
@@ -380,30 +441,45 @@ class ArtifactCache:
     def _put(self, stage: str, key: str, payload: Dict[str, Any], *,
              replace: bool = False) -> Path:
         path = self._path(stage, key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with _FileLock(self._lock_path(stage, key)):
-            if not replace and self._read_valid(path, key) is not None:
-                self._count("puts_deduped")
-                return path
-            document = {
-                "format": CACHE_FORMAT_VERSION,
-                "stage": stage,
-                "key": key,
-                "payload": payload,
-            }
-            fd, tmp_name = tempfile.mkstemp(
-                dir=path.parent, prefix=f".{key[:16]}-", suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "w") as handle:
-                    json.dump(document, handle)
-                os.replace(tmp_name, path)
-            except BaseException:
+        if self._degraded:
+            # Pass-through mode: the disk is unwritable; skip cheaply and
+            # let the flow keep its computed result in memory.
+            self._puts.labels(outcome="degraded").inc()
+            return path
+        try:
+            if _chaos.fire("cache.write.enospc", stage=stage):
+                raise OSError(errno.ENOSPC, "chaos: injected ENOSPC")
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with _FileLock(self._lock_path(stage, key)):
+                if not replace and self._read_valid(path, key) is not None:
+                    self._count("puts_deduped")
+                    return path
+                document = {
+                    "format": CACHE_FORMAT_VERSION,
+                    "stage": stage,
+                    "key": key,
+                    "payload": payload,
+                }
+                fd, tmp_name = tempfile.mkstemp(
+                    dir=path.parent, prefix=f".{key[:16]}-", suffix=".tmp"
+                )
                 try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
-                raise
+                    with os.fdopen(fd, "w") as handle:
+                        json.dump(document, handle)
+                    os.replace(tmp_name, path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp_name)
+                    except OSError:
+                        pass
+                    raise
+        except OSError as exc:
+            # ENOSPC / EROFS / EACCES anywhere on the write path — the
+            # mkdir, the lock, the temp file, the rename: flip to
+            # pass-through instead of failing the caller's flow.
+            self._note_write_error("put", exc, sticky=True)
+            self._puts.labels(outcome="degraded").inc()
+            return path
         self._count("puts_written")
         self._ledger_append("put", stage, key)
         return path
@@ -454,6 +530,7 @@ class ArtifactCache:
             "stages": stages,
             "total_files": total_files,
             "total_bytes": total_bytes,
+            "degraded": self._degraded,
         }
 
     def prune(self, stage: Optional[str] = None,
@@ -471,6 +548,12 @@ class ArtifactCache:
         started = time.perf_counter()
         try:
             return self._prune(stage, max_bytes)
+        except OSError as exc:
+            # A prune that cannot list or rewrite (dying disk, revoked
+            # permissions) removes nothing; it must not fail the caller
+            # mid-request.
+            self._note_write_error("prune", exc)
+            return 0
         finally:
             self._observe_op("prune", started)
 

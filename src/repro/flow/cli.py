@@ -448,6 +448,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_body=args.max_body,
         allow_bench=args.allow_bench,
         quiet=not args.verbose,
+        follower_timeout=args.follower_timeout,
+        request_timeout=args.request_timeout,
+        max_concurrent_runs=args.max_concurrent,
     )
     host, port = server.server_address[:2]
     print(f"repro flow server listening on http://{host}:{port} "
@@ -574,6 +577,22 @@ def make_parser() -> argparse.ArgumentParser:
     serve.add_argument("--allow-bench", action="store_true",
                        help="accept configs with circuit.kind 'bench' "
                             "(reads local netlist paths)")
+    serve.add_argument("--request-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="deadline for any /run request; expiry answers "
+                            "504 with partial progress while the "
+                            "computation finishes for a retry "
+                            "(default: unbounded)")
+    serve.add_argument("--follower-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="extra bound on coalesced followers waiting "
+                            "for an in-flight identical run "
+                            "(default: unbounded)")
+    serve.add_argument("--max-concurrent", type=int, default=None,
+                       metavar="N",
+                       help="admit at most N concurrent /run+/diagnose "
+                            "requests; excess sheds 503 with Retry-After "
+                            "(default: unlimited)")
     serve.add_argument("--drain-timeout", type=float, default=30.0,
                        metavar="SECONDS",
                        help="graceful-shutdown drain limit (default 30)")

@@ -83,6 +83,26 @@ class Computation:
                 return
             yield event
 
+    def next_event(self, q: "queue.SimpleQueue[Any]",
+                   timeout: Optional[float] = None) -> Optional[Any]:
+        """The next event from a subscription queue, or ``None`` once the
+        stream is closed.
+
+        Raises :class:`queue.Empty` on timeout — the primitive behind
+        deadline-bounded streaming relays: the server calls this with
+        the request budget's remaining seconds and turns the timeout
+        into a 504 event instead of blocking with the leader forever.
+        Events are never ``None``, so ``None`` unambiguously means done.
+        """
+        event = q.get(timeout=timeout)
+        return None if event is _DONE else event
+
+    def progress(self) -> List[Any]:
+        """A snapshot of the events published so far (for partial-result
+        reporting on request timeouts)."""
+        with self._lock:
+            return list(self._events)
+
     def finish(self, result: Any = None,
                exception: Optional[BaseException] = None) -> None:
         """Publish the outcome and close every subscriber stream."""

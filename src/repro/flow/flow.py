@@ -39,6 +39,7 @@ from repro.faults.registry import FaultModel, fault_model
 from repro.flow.cache import ArtifactCache, stage_key
 from repro.flow.config import CircuitSpec, FlowConfig
 from repro.flow import serialize
+from repro.resilience import context as resilience_context
 from repro.telemetry import get_registry, span
 
 
@@ -75,6 +76,11 @@ class FlowResult:
     tests: Any
     report: CurveReport
     stages: List[StageInfo] = field(default_factory=list)
+    #: Absorbed-failure summary from the run's resilience context
+    #: (``{"degraded": bool, "retries": int, "degradations": int}``);
+    #: ``degraded=True`` means some component fell back to a slower but
+    #: bit-identical path (e.g. the sharded engine degrading to inline).
+    resilience: Dict[str, Any] = field(default_factory=dict)
 
     def timings(self) -> Dict[str, Any]:
         """Per-stage durations and cache attribution of this run.
@@ -139,6 +145,7 @@ class FlowResult:
             },
             "stages": [info.to_dict() for info in self.stages],
             "timings": self.timings(),
+            "resilience": self.resilience or resilience_context.baseline_summary(),
         }
 
 
@@ -498,17 +505,19 @@ class Flow:
     def run(self, order: Optional[str] = None) -> FlowResult:
         """Run every stage for one order and return the full result."""
         name = self._order_name(order)
-        result = FlowResult(
-            config=self.config,
-            circuit=self.circuit(),
-            faults=list(self.faults()),
-            selection=self.selection(),
-            adi=self.adi(),
-            order_name=name,
-            permutation=self.permutation(name),
-            tests=self.tests(name),
-            report=self.report(name),
-        )
+        with resilience_context.collecting() as events:
+            result = FlowResult(
+                config=self.config,
+                circuit=self.circuit(),
+                faults=list(self.faults()),
+                selection=self.selection(),
+                adi=self.adi(),
+                order_name=name,
+                permutation=self.permutation(name),
+                tests=self.tests(name),
+                report=self.report(name),
+            )
+        result.resilience = events.summary()
         # Only THIS run's stages: the shared upstream plus this order's
         # own entries — a Flow may have served other orders before.
         shared = {"circuit", "faults", "u", "adi"}

@@ -58,10 +58,26 @@ Requests whose body exceeds ``max_body`` get 413; malformed JSON, a bad
 ``Content-Length`` or an invalid config gets 400 naming the problem; a
 draining server rejects new runs with 503 (``Retry-After``) while
 in-flight runs finish; with ``follower_timeout`` set, a coalesced
-request that outwaits it gets 504 instead of blocking on the leader.  By
-default configs that read local files (``circuit.kind == "bench"``) are
-refused — the service executes network input — unless constructed with
-``allow_bench=True`` (``repro serve --allow-bench``).
+request that outwaits it gets 504 (``Retry-After``) instead of blocking
+on the leader.  By default configs that read local files
+(``circuit.kind == "bench"``) are refused — the service executes
+network input — unless constructed with ``allow_bench=True``
+(``repro serve --allow-bench``).
+
+Resilience (PR 10): the leader's flow no longer runs in the handler
+thread — it runs on a dedicated daemon thread that completes the
+single-flight entry, and *every* handler (leader and follower alike)
+just waits on the entry with a deadline.  ``request_timeout``
+(``repro serve --request-timeout``) bounds that wait: an expired
+request answers 504 with ``Retry-After`` and a ``partial`` section
+listing the stages that did finish (streamed runs get the same payload
+as a final ``error`` event); the computation itself keeps running and
+lands in the memo for the retry.  ``max_concurrent_runs``
+(``--max-concurrent``) sheds load with 503 + ``Retry-After`` at
+admission, before the thread pool saturates.  Shed and timed-out
+requests count into ``repro_resilience_shed_total`` (by reason) on
+``GET /metrics``; the ``server.handler.slow`` chaos site injects
+leader-side latency to exercise all of it.
 
 The server is stdlib-only: :class:`http.server.ThreadingHTTPServer`
 with daemon worker threads, one per connection.
@@ -77,12 +93,17 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import urlparse, parse_qs
 
+import queue
+
 from repro import telemetry
 from repro.errors import ReproError
 from repro.flow.cache import ArtifactCache
 from repro.flow.config import FlowConfig
 from repro.flow.dedupe import Computation, InflightTable
 from repro.flow.flow import Flow
+from repro.resilience import chaos as _chaos
+from repro.resilience import context as _resilience
+from repro.resilience.deadline import Deadline, remaining_timeout
 from repro.telemetry import MetricsRegistry, log_event, render_prometheus
 
 #: Response/stream schema version.
@@ -100,6 +121,13 @@ class FlowServer(ThreadingHTTPServer):
     ``follower_timeout`` bounds how long a coalesced (non-streaming)
     request waits for the leader's result before answering 504
     (``None`` — the default — waits as long as the leader computes).
+    ``request_timeout`` bounds *every* ``/run`` request, leader or
+    follower, streamed or not: an expired one answers 504 with
+    ``Retry-After`` and partial progress while the computation finishes
+    in the background (its result lands in the memo for the retry).
+    ``max_concurrent_runs`` caps concurrently admitted ``/run`` and
+    ``/diagnose`` requests; excess load is shed with 503 +
+    ``Retry-After`` at admission.
     ``flow_factory`` (signature ``(config, observer) -> Flow``) exists
     for tests to instrument flow construction — e.g. counting real
     executions under concurrent identical requests.
@@ -114,6 +142,8 @@ class FlowServer(ThreadingHTTPServer):
                  memo_size: int = 128,
                  quiet: bool = True,
                  follower_timeout: Optional[float] = None,
+                 request_timeout: Optional[float] = None,
+                 max_concurrent_runs: Optional[int] = None,
                  diagnosis_memo_size: int = 8,
                  flow_factory=None):
         super().__init__(address, FlowRequestHandler)
@@ -124,6 +154,12 @@ class FlowServer(ThreadingHTTPServer):
         self.max_body = max_body
         self.allow_bench = allow_bench
         self.follower_timeout = follower_timeout
+        self.request_timeout = request_timeout
+        if max_concurrent_runs is not None and max_concurrent_runs < 1:
+            raise ValueError(
+                f"max_concurrent_runs must be >= 1 or None, "
+                f"got {max_concurrent_runs!r}")
+        self.max_concurrent_runs = max_concurrent_runs
         self.quiet = quiet
         self.flow_factory = flow_factory or self._default_flow_factory
         #: Per-server telemetry registry: HTTP and dedupe series live
@@ -155,7 +191,13 @@ class FlowServer(ThreadingHTTPServer):
         self._diagnosis_memo_size = diagnosis_memo_size
         self._state_lock = threading.Lock()
         self._draining = False
+        #: All live run slots: handler-admitted requests PLUS background
+        #: leader-compute threads (drain waits for both).
         self._active_runs = 0
+        #: Handler-admitted requests only — the series the concurrency
+        #: limiter caps (a handed-off computation shouldn't double-count
+        #: its request against the admission limit).
+        self._handler_runs = 0
         self._idle = threading.Condition(self._state_lock)
 
     def _default_flow_factory(self, config: FlowConfig, observer) -> Flow:
@@ -257,15 +299,43 @@ class FlowServer(ThreadingHTTPServer):
         with self._state_lock:
             self._draining = True
 
-    def enter_run(self) -> bool:
-        """Admission control: registers a run, or refuses while draining."""
+    def enter_run(self) -> Optional[str]:
+        """Admission control: registers a run, or names the refusal.
+
+        Returns ``None`` when admitted, else the shed reason —
+        ``"draining"`` or ``"capacity"`` (the ``max_concurrent_runs``
+        limiter refusing before the thread pool saturates).
+        """
         with self._state_lock:
             if self._draining:
-                return False
+                return "draining"
+            if (self.max_concurrent_runs is not None
+                    and self._handler_runs >= self.max_concurrent_runs):
+                return "capacity"
+            self._handler_runs += 1
             self._active_runs += 1
-            return True
+            return None
 
     def exit_run(self) -> None:
+        with self._idle:
+            self._handler_runs -= 1
+            self._active_runs -= 1
+            if self._active_runs == 0:
+                self._idle.notify_all()
+
+    def adopt_run(self) -> None:
+        """Register a background leader-compute thread as a live run.
+
+        Unchecked (the request carrying it was already admitted), and
+        not counted against the concurrency limit — but :meth:`drain`
+        waits for it, so graceful shutdown never abandons a computation
+        whose handler already timed out and answered 504.
+        """
+        with self._state_lock:
+            self._active_runs += 1
+
+    def release_run(self) -> None:
+        """Retire a slot taken by :meth:`adopt_run`."""
         with self._idle:
             self._active_runs -= 1
             if self._active_runs == 0:
@@ -309,6 +379,11 @@ class FlowServer(ThreadingHTTPServer):
             "memo": memo,
             "active_runs": active,
             "draining": draining,
+            "limits": {
+                "request_timeout": self.request_timeout,
+                "follower_timeout": self.follower_timeout,
+                "max_concurrent_runs": self.max_concurrent_runs,
+            },
             "metrics_endpoint": "/metrics",
         }
         if self.cache is not None:
@@ -318,6 +393,7 @@ class FlowServer(ThreadingHTTPServer):
                 "files": cache_stats["total_files"],
                 "bytes": cache_stats["total_bytes"],
                 "root": cache_stats["root"],
+                "degraded": cache_stats["degraded"],
             }
         return document
 
@@ -397,12 +473,29 @@ class FlowRequestHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _send_error_json(self, status: int, message: str,
-                         headers: Optional[Dict[str, str]] = None) -> None:
+                         headers: Optional[Dict[str, str]] = None,
+                         extra: Optional[Dict[str, Any]] = None) -> None:
         self.server.count_error(status)
         self._source = "error"
-        self._send_json(status, {
+        document: Dict[str, Any] = {
             "schema": SERVER_SCHEMA, "error": message, "status": status,
-        }, headers)
+        }
+        if extra:
+            document.update(extra)
+        self._send_json(status, document, headers)
+
+    def _shed_message(self, reason: str) -> str:
+        if reason == "draining":
+            return "server is draining"
+        return (f"server at capacity "
+                f"({self.server.max_concurrent_runs} concurrent runs)")
+
+    def _shed(self, reason: str) -> None:
+        """Refuse an unadmitted request: 503 + Retry-After, counted."""
+        _resilience.record("shed", "flow.server", reason=reason,
+                           key=getattr(self, "_run_key", None))
+        self._send_error_json(503, self._shed_message(reason),
+                              {"Retry-After": "1"})
 
     # -- request body --------------------------------------------------------
 
@@ -515,9 +608,9 @@ class FlowRequestHandler(BaseHTTPRequestHandler):
             except _HTTPError as exc:
                 self._send_error_json(exc.status, str(exc), exc.headers)
                 return
-            if not self.server.enter_run():
-                self._send_error_json(503, "server is draining",
-                                      {"Retry-After": "1"})
+            reason = self.server.enter_run()
+            if reason is not None:
+                self._shed(reason)
                 return
             try:
                 self._serve_run(config, stream)
@@ -595,8 +688,10 @@ class FlowRequestHandler(BaseHTTPRequestHandler):
             raise _HTTPError(400, f"invalid flow config: {exc}")
         self._run_key = key
 
-        if not self.server.enter_run():
-            raise _HTTPError(503, "server is draining",
+        reason = self.server.enter_run()
+        if reason is not None:
+            _resilience.record("shed", "flow.server", reason=reason, key=key)
+            raise _HTTPError(503, self._shed_message(reason),
                              {"Retry-After": "1"})
         try:
             context = self.server.diagnosis_context_get(key)
@@ -650,46 +745,52 @@ class FlowRequestHandler(BaseHTTPRequestHandler):
             return
 
         entry, leads = self.server.inflight.lease(key)
+        deadline = Deadline.after(self.server.request_timeout)
+        subscription = entry.subscribe() if stream else None
         if leads:
-            self._lead(config, entry, stream)
-        else:
-            self._follow(config, entry, stream)
-
-    def _lead(self, config: FlowConfig, entry: Computation,
-              stream: bool) -> None:
-        """Run the flow, publishing stage events; respond and memoize.
-
-        Every exit path retires the inflight entry exactly once: a
-        leader that died without completing (a client disconnect before
-        the stream headers, a failure building the response document)
-        would otherwise leave the key leased forever, and every later
-        identical request would block on the dead entry.
-        """
-        completed = False
-
-        def complete(document: Optional[Dict[str, Any]] = None,
-                     exception: Optional[BaseException] = None) -> None:
-            nonlocal completed
-            if not completed:
-                completed = True
-                self.server.inflight.complete(entry, document,
-                                              exception=exception)
-
-        try:
-            streamed_headers = False
-            if stream:
-                self._start_stream()
-                streamed_headers = True
-
-            def observer(info) -> None:
-                event = ("stage", info.to_dict())
-                entry.publish(event)
-                if stream:
-                    # The observer runs in this handler thread mid-flow, so
-                    # writing here streams progress as each stage finishes.
-                    self._write_event(*event)
-
+            # The leader's flow runs on a dedicated daemon thread that
+            # completes the single-flight entry; this handler — exactly
+            # like a follower — only *waits* on the entry, bounded by
+            # the request deadline.  A slow computation can therefore
+            # never pin a handler past its budget, and a client
+            # disconnect can never poison the shared entry.
+            self.server.adopt_run()
+            worker = threading.Thread(
+                target=self._leader_compute, args=(config, entry),
+                name=f"flow-leader-{key[:8]}", daemon=True)
             try:
+                worker.start()
+            except BaseException as exc:
+                # Could not even start the thread (resource exhaustion):
+                # retire the slot and the entry so the key is not wedged.
+                self.server.release_run()
+                self.server.inflight.complete(entry, exception=exc)
+                raise
+            self._await_entry(config, entry, "leader", stream,
+                              subscription, deadline)
+        else:
+            self._await_entry(config, entry, "follower", stream,
+                              subscription, deadline)
+
+    def _leader_compute(self, config: FlowConfig,
+                        entry: Computation) -> None:
+        """Run the flow off-handler and complete the entry exactly once.
+
+        Every exit path completes the entry (result or exception) and
+        releases the adopted run slot — so followers always wake, later
+        identical requests never block on a dead entry, and
+        :meth:`FlowServer.drain` waits for computations whose handlers
+        already answered 504 and went away.
+        """
+        try:
+            try:
+                if _chaos.fire("server.handler.slow", key=entry.key):
+                    time.sleep(float(_chaos.param(
+                        "server.handler.slow", "seconds", 0.25)))
+
+                def observer(info) -> None:
+                    entry.publish(("stage", info.to_dict()))
+
                 flow = self.server.flow_factory(config, observer)
                 result = flow.run()
                 sources = {info.source for info in result.stages
@@ -704,64 +805,118 @@ class FlowRequestHandler(BaseHTTPRequestHandler):
                     "result": result.summary(),
                 }
             except BaseException as exc:
-                complete(exception=exc)
-                if isinstance(exc, (BrokenPipeError, ConnectionResetError)):
-                    raise
-                message = f"flow execution failed: {exc}"
-                if streamed_headers:
-                    self._write_event("error", {"schema": SERVER_SCHEMA,
-                                                "error": message,
-                                                "status": 500})
-                    self.server.count_error(500)
-                    self._source = "error"
-                else:
-                    self._send_error_json(500, message)
+                self.server.inflight.complete(entry, exception=exc)
                 return
             self.server.memo_put(entry.key, document)
-            complete(document)
-            self.server.count(f"served_{source}")
-            self._source = source
-            if streamed_headers:
-                self._write_event("result", document)
-            else:
-                self._send_json(200, document)
-        except BaseException as exc:
-            complete(exception=exc)
-            raise
+            self.server.inflight.complete(entry, document)
+        finally:
+            self.server.release_run()
 
-    def _follow(self, config: FlowConfig, entry: Computation,
-                stream: bool) -> None:
-        """Attach to a concurrent identical computation."""
-        subscription = entry.subscribe() if stream else None
+    def _await_entry(self, config: FlowConfig, entry: Computation,
+                     role: str, stream: bool, subscription,
+                     deadline: Optional[Deadline]) -> None:
+        """Wait for the entry under the request budget and respond.
+
+        Leaders and followers differ only in the response labelling
+        (followers re-stamp ``source="inflight"`` and their own config
+        fingerprint) and in the extra ``follower_timeout`` bound on
+        non-streaming followers.
+        """
         if stream:
-            self._start_stream()
-            for kind, payload in entry.events(subscription):
-                self._write_event(kind, payload)
-        else:
-            if not entry.wait(self.server.follower_timeout):
-                self._send_error_json(
-                    504, "timed out waiting for the in-flight computation")
-                return
+            self._relay_stream(config, entry, role, subscription, deadline)
+            return
+        timeout = remaining_timeout(
+            deadline,
+            self.server.follower_timeout if role == "follower" else None)
+        if not entry.wait(timeout):
+            self._timeout_response(entry, deadline, streamed=False)
+            return
         try:
             document = entry.outcome()
         except BaseException as exc:
-            message = f"flow execution failed: {exc}"
-            if stream:
-                self._write_event("error", {"schema": SERVER_SCHEMA,
-                                            "error": message, "status": 500})
-                self.server.count_error(500)
-                self._source = "error"
-            else:
-                self._send_error_json(500, message)
+            self._send_error_json(500, f"flow execution failed: {exc}")
             return
-        document = dict(document, source="inflight",
-                        config_fingerprint=config.fingerprint())
-        self.server.count("served_inflight")
-        self._source = "inflight"
-        if stream:
-            self._write_event("result", document)
+        if role == "leader":
+            source = document["source"]
         else:
-            self._send_json(200, document)
+            document = dict(document, source="inflight",
+                            config_fingerprint=config.fingerprint())
+            source = "inflight"
+        self.server.count(f"served_{source}")
+        self._source = source
+        self._send_json(200, document)
+
+    def _relay_stream(self, config: FlowConfig, entry: Computation,
+                      role: str, subscription,
+                      deadline: Optional[Deadline]) -> None:
+        """Stream the entry's events under the request budget.
+
+        The subscription replays events already published, then follows
+        live ones; the whole relay shares one deadline, and expiry turns
+        into a final ``error`` event carrying the 504 + partial
+        progress (HTTP headers are long gone by then).
+        """
+        self._start_stream()
+        while True:
+            try:
+                event = entry.next_event(
+                    subscription, remaining_timeout(deadline))
+            except queue.Empty:
+                self._timeout_response(entry, deadline, streamed=True)
+                return
+            if event is None:
+                break
+            self._write_event(*event)
+        try:
+            document = entry.outcome()
+        except BaseException as exc:
+            self.server.count_error(500)
+            self._source = "error"
+            self._write_event("error", {
+                "schema": SERVER_SCHEMA,
+                "error": f"flow execution failed: {exc}", "status": 500,
+            })
+            return
+        if role == "leader":
+            source = document["source"]
+        else:
+            document = dict(document, source="inflight",
+                            config_fingerprint=config.fingerprint())
+            source = "inflight"
+        self.server.count(f"served_{source}")
+        self._source = source
+        self._write_event("result", document)
+
+    def _timeout_response(self, entry: Computation,
+                          deadline: Optional[Deadline],
+                          streamed: bool) -> None:
+        """Answer 504 with partial progress; the computation lives on."""
+        if deadline is not None and deadline.expired:
+            reason = "deadline"
+            message = (f"request deadline of "
+                       f"{self.server.request_timeout:g}s exceeded; the "
+                       "computation continues and will serve a retry")
+        else:
+            reason = "follower_timeout"
+            message = "timed out waiting for the in-flight computation"
+        _resilience.record("timeout", "flow.server", reason=reason,
+                           key=entry.key)
+        stages = [payload for kind, payload in entry.progress()
+                  if kind == "stage"]
+        partial = {
+            "stages_completed": len(stages),
+            "stages": [payload.get("stage") for payload in stages],
+        }
+        if streamed:
+            self.server.count_error(504)
+            self._source = "error"
+            self._write_event("error", {
+                "schema": SERVER_SCHEMA, "error": message, "status": 504,
+                "retry_after": 1, "partial": partial,
+            })
+        else:
+            self._send_error_json(504, message, {"Retry-After": "1"},
+                                  extra={"partial": partial})
 
     # -- SSE-style streaming -------------------------------------------------
 

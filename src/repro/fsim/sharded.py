@@ -30,6 +30,22 @@ The moving parts:
   sibling workers down; a ``KeyboardInterrupt`` in the parent likewise
   terminates the pool before propagating, so no orphan processes
   survive either failure mode;
+* supervision — each sharded map runs under the engine's
+  :class:`~repro.resilience.supervisor.RetryPolicy`: a per-attempt
+  deadline (``map_async`` + timeout, so a hung worker cannot stall the
+  query forever), bounded retry with exponential backoff and a fresh
+  pool after each failed attempt, and — when retries are exhausted —
+  graceful degradation to the inline base engine, whose result is
+  bit-identical by construction.  Retries and degradations are recorded
+  through :func:`repro.resilience.context.record`, so they surface both
+  as ``repro_resilience_*`` counters and as ``degraded=True`` in the
+  surrounding :meth:`FlowResult.summary`;
+* chaos hooks — the ``shard.worker.crash`` / ``shard.worker.hang``
+  injection sites.  Decisions are drawn in the *parent* at task-build
+  time (the seeded stream and ``max_fires`` caps live in one process,
+  so they survive pool restarts and redraw per retry attempt); the
+  failure itself executes inside the worker, exercising the real
+  cross-process error path;
 * telemetry — each worker records faults simulated and shard sim time
   into a :func:`repro.telemetry.scoped_registry` and ships the snapshot
   home with its row block; the parent merges every snapshot under a
@@ -46,6 +62,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 import traceback
 import weakref
 from typing import List, Optional, Sequence, Tuple
@@ -58,6 +75,10 @@ from repro.fsim.backend import (
     backend_transition_detection_matrix,
     create_backend,
 )
+from repro.resilience import chaos as _chaos
+from repro.resilience import context as _resilience
+from repro.resilience.chaos import ChaosInjected
+from repro.resilience.supervisor import RetryPolicy
 from repro.sim.patterns import PatternPairSet, PatternSet
 from repro.telemetry import get_registry, scoped_registry, span
 from repro.utils.detmatrix import DetectionMatrix
@@ -177,18 +198,30 @@ def _worker_query(engine, kind: str, faults: Sequence) -> DetectionMatrix:
 def _simulate_shard(task):
     """Run one shard; never raise — errors travel home as tuples.
 
-    ``task`` is ``(shard_index, kind, generation, block, faults)``.
-    Returns ``("ok", shard_index, words, telemetry_snapshot)`` with the
-    shard's uint64 row block and the worker-local registry snapshot
-    (the parent merges it back under a ``shard`` label), or
-    ``("error", shard_index, summary, traceback_text)``.  Catching
-    ``BaseException`` is deliberate: even a ``KeyboardInterrupt``
-    delivered inside a worker must come home as one structured error
-    instead of killing the worker mid-protocol.
+    ``task`` is ``(shard_index, kind, generation, block, faults,
+    inject)``.  Returns ``("ok", shard_index, words,
+    telemetry_snapshot)`` with the shard's uint64 row block and the
+    worker-local registry snapshot (the parent merges it back under a
+    ``shard`` label), or ``("error", shard_index, summary,
+    traceback_text)``.  Catching ``BaseException`` is deliberate: even
+    a ``KeyboardInterrupt`` delivered inside a worker must come home as
+    one structured error instead of killing the worker mid-protocol.
+
+    ``inject`` is the shard's chaos order, decided by the parent:
+    ``None``, ``("crash",)`` (raise :class:`ChaosInjected` — travels
+    home as an error tuple like any real worker crash), or ``("hang",
+    seconds)`` (sleep past the supervisor's shard deadline).
     """
-    shard_index, kind, generation, block, faults = task
+    shard_index, kind, generation, block, faults, inject = task
     try:
         with scoped_registry() as registry:
+            if inject is not None:
+                if inject[0] == "hang":
+                    time.sleep(inject[1])
+                else:
+                    raise ChaosInjected(
+                        f"chaos: injected worker crash in shard {shard_index}"
+                    )
             engine = _worker_state.get("engine")
             if engine is None:
                 engine = create_backend(_worker_state["circ"],
@@ -245,7 +278,8 @@ class ShardedFaultSim:
     def __init__(self, circ: CompiledCircuit, base: Optional[str] = None,
                  num_shards: Optional[int] = None,
                  min_faults: Optional[int] = None,
-                 mp_context=None):
+                 mp_context=None,
+                 policy: Optional[RetryPolicy] = None):
         base = base or default_base()
         if base == self.name:
             raise SimulationError(
@@ -267,6 +301,7 @@ class ShardedFaultSim:
                 "fork" if "fork" in methods else None
             )
         self._ctx = mp_context
+        self.policy = RetryPolicy.from_env() if policy is None else policy
         self._pool = None
         self._finalizer = None
         self._inline = None  # in-process base engine for small queries
@@ -368,46 +403,113 @@ class ShardedFaultSim:
                       shards="inline"):
                 return _worker_query(self._inline_engine(kind), kind, faults)
         shards = str(self.num_shards)
+        policy = self.policy
         with span("fsim.query", backend=self.name, kind=kind, shards=shards):
             plan = plan_shards(len(faults), self.num_shards)
-            tasks = [
-                (index, kind, self._generation, block,
-                 list(faults[start:stop]))
-                for index, (start, stop) in enumerate(plan)
-            ]
-            if self._pool is None:
-                with span("fsim.pool_spinup", shards=shards):
-                    pool = self._ensure_pool()
-            else:
-                pool = self._ensure_pool()
-            try:
-                with span("fsim.shard_map", shards=shards):
-                    results = pool.map(_simulate_shard, tasks)
-            except BaseException:
-                # Parent-side failure (KeyboardInterrupt included): reap
-                # the workers before propagating so nothing is orphaned.
-                self.close(terminate=True)
-                raise
-            errors = [r for r in results if r[0] == "error"]
-            if errors:
-                self.close(terminate=True)
-                __, index, summary, trace = errors[0]
-                start, stop = plan[index]
-                raise SimulationError(
-                    f"parallel shard {index} (faults {start}:{stop}, base "
-                    f"{self.base!r}) failed: {summary}\n{trace}"
-                )
-            registry = get_registry()
-            for __, index, __, snapshot in results:
-                # Worker-local series come home with the row block; the
-                # shard label keeps per-worker resolution after merging.
-                registry.merge(snapshot, extra_labels={"shard": str(index)})
-            with span("fsim.concat", shards=shards):
-                parts = [
-                    DetectionMatrix(words, block.num_patterns)
-                    for __, __, words, __ in results  # map preserves order
+            attempt = 0
+            last_error: Optional[SimulationError] = None
+            while True:
+                # Chaos orders are drawn fresh per attempt in the parent:
+                # the seeded streams and max_fires caps live here, so a
+                # "fail once" plan crashes attempt 1 and spares attempt 2
+                # even though the pool was rebuilt in between.
+                tasks = [
+                    (index, kind, self._generation, block,
+                     list(faults[start:stop]), self._injection(index))
+                    for index, (start, stop) in enumerate(plan)
                 ]
-                return DetectionMatrix.concat_rows(parts, block.num_patterns)
+                if self._pool is None:
+                    with span("fsim.pool_spinup", shards=shards):
+                        pool = self._ensure_pool()
+                else:
+                    pool = self._ensure_pool()
+                results = None
+                try:
+                    with span("fsim.shard_map", shards=shards):
+                        handle = pool.map_async(_simulate_shard, tasks)
+                        results = handle.get(policy.shard_timeout)
+                except multiprocessing.TimeoutError:
+                    # A worker is hung (or the map is simply over budget):
+                    # hard-stop the pool so the stragglers die now.
+                    self.close(terminate=True)
+                    last_error = SimulationError(
+                        f"parallel shard map (base {self.base!r}, {shards} "
+                        f"shards) exceeded its {policy.shard_timeout:g}s "
+                        f"deadline on attempt {attempt + 1}/"
+                        f"{policy.max_attempts}"
+                    )
+                except BaseException:
+                    # Parent-side failure (KeyboardInterrupt included):
+                    # reap the workers before propagating so nothing is
+                    # orphaned.  Never retried — the parent is the one
+                    # failing, not a shard.
+                    self.close(terminate=True)
+                    raise
+                if results is not None:
+                    errors = [r for r in results if r[0] == "error"]
+                    if not errors:
+                        registry = get_registry()
+                        for __, index, __, snapshot in results:
+                            # Worker-local series come home with the row
+                            # block; the shard label keeps per-worker
+                            # resolution after merging.  Only successful
+                            # attempts merge, so retried work is counted
+                            # once and shard sums still equal the query's
+                            # fault count.
+                            registry.merge(
+                                snapshot, extra_labels={"shard": str(index)}
+                            )
+                        with span("fsim.concat", shards=shards):
+                            parts = [
+                                DetectionMatrix(words, block.num_patterns)
+                                for __, __, words, __ in results  # in order
+                            ]
+                            return DetectionMatrix.concat_rows(
+                                parts, block.num_patterns
+                            )
+                    self.close(terminate=True)
+                    __, index, summary, trace = errors[0]
+                    start, stop = plan[index]
+                    last_error = SimulationError(
+                        f"parallel shard {index} (faults {start}:{stop}, "
+                        f"base {self.base!r}) failed: {summary}\n{trace}"
+                    )
+                attempt += 1
+                if attempt >= policy.max_attempts:
+                    break
+                _resilience.record(
+                    "retry", "fsim.parallel",
+                    attempt=attempt, max_attempts=policy.max_attempts,
+                    query=kind, error=str(last_error).splitlines()[0],
+                )
+                delay = policy.backoff(attempt - 1)
+                if delay > 0:
+                    time.sleep(delay)
+            if policy.degrade:
+                _resilience.record(
+                    "degradation", "fsim.parallel",
+                    query=kind, attempts=policy.max_attempts,
+                    error=str(last_error).splitlines()[0],
+                )
+                get_registry().counter(FAULTS_METRIC, _FAULTS_HELP).labels(
+                    base=self.base, kind=kind, shard="degraded",
+                ).inc(len(faults))
+                with span("fsim.degraded_inline", kind=kind):
+                    return _worker_query(
+                        self._inline_engine(kind), kind, faults
+                    )
+            raise last_error
+
+    def _injection(self, shard_index: int):
+        """The parent-side chaos decision for one shard task (or None)."""
+        if _chaos.fire("shard.worker.crash", shard=shard_index):
+            return ("crash",)
+        if _chaos.fire("shard.worker.hang", shard=shard_index):
+            seconds = float(
+                _chaos.param("shard.worker.hang", "seconds", 30.0)
+            )
+            return ("hang", seconds)
+        return None
 
     # -- the FaultSimBackend surface ------------------------------------------
 

@@ -1,0 +1,145 @@
+"""Thread-local collection of resilience events plus global counters.
+
+Infrastructure role: the reporting half of the resilience layer.  When
+a supervised component absorbs a failure — a shard retry, a degrade to
+the inline engine, a request shed at admission — it calls
+:func:`record`.  That single call does three things:
+
+* bumps the matching ``repro_resilience_*`` counter on the ambient
+  telemetry registry (so ``GET /metrics`` sees it),
+* emits one structured log line via :func:`repro.telemetry.log_event`,
+* appends the event to the innermost active :class:`ResilienceContext`,
+  if any, so :meth:`repro.flow.flow.FlowResult.summary` can surface
+  ``degraded=True`` for the specific run that degraded.
+
+Contexts are thread-local and nest like a stack; ``Flow.run`` wraps
+each run in :func:`collecting` so events land on the run that caused
+them even when several runs execute concurrently in one server.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.telemetry import get_registry, log_event
+
+#: Counter families, all rendered by the flow server's ``GET /metrics``.
+RETRIES_METRIC = "repro_resilience_retries_total"
+DEGRADATIONS_METRIC = "repro_resilience_degradations_total"
+SHED_METRIC = "repro_resilience_shed_total"
+
+#: Recognised event kinds and the counter/label each maps to.
+_KINDS = {"retry", "degradation", "shed", "timeout"}
+
+
+class ResilienceEvent:
+    """One absorbed failure: what kind, which component, free detail."""
+
+    __slots__ = ("kind", "component", "detail")
+
+    def __init__(self, kind: str, component: str, detail: Dict[str, Any]) -> None:
+        self.kind = kind
+        self.component = component
+        self.detail = detail
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc = {"kind": self.kind, "component": self.component}
+        doc.update(self.detail)
+        return doc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResilienceEvent({self.kind!r}, {self.component!r}, {self.detail!r})"
+
+
+class ResilienceContext:
+    """An append-only list of events scoped to one logical operation."""
+
+    def __init__(self) -> None:
+        self.events: List[ResilienceEvent] = []
+        self._lock = threading.Lock()
+
+    def add(self, event: ResilienceEvent) -> None:
+        with self._lock:
+            self.events.append(event)
+
+    @property
+    def retries(self) -> int:
+        return sum(1 for e in self.events if e.kind == "retry")
+
+    @property
+    def degradations(self) -> int:
+        return sum(1 for e in self.events if e.kind == "degradation")
+
+    @property
+    def degraded(self) -> bool:
+        return self.degradations > 0
+
+    def summary(self) -> Dict[str, Any]:
+        """The stable shape embedded in ``FlowResult.summary()``."""
+        return {
+            "degraded": self.degraded,
+            "retries": self.retries,
+            "degradations": self.degradations,
+        }
+
+
+_local = threading.local()
+
+
+def _stack() -> List[ResilienceContext]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def current() -> Optional[ResilienceContext]:
+    """The innermost active context on this thread, or ``None``."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def collecting(context: Optional[ResilienceContext] = None) -> Iterator[ResilienceContext]:
+    """Push a context for the duration of the block; yields it."""
+    context = context if context is not None else ResilienceContext()
+    stack = _stack()
+    stack.append(context)
+    try:
+        yield context
+    finally:
+        stack.pop()
+
+
+def baseline_summary() -> Dict[str, Any]:
+    """The all-clear summary for runs that saw no resilience events."""
+    return {"degraded": False, "retries": 0, "degradations": 0}
+
+
+def record(kind: str, component: str, **detail: Any) -> None:
+    """Report one absorbed failure: counter + log line + active context."""
+    if kind not in _KINDS:
+        raise ValueError(f"unknown resilience event kind {kind!r}")
+    registry = get_registry()
+    if kind == "retry":
+        registry.counter(
+            RETRIES_METRIC,
+            "Supervised retries after an absorbed component failure.",
+        ).labels(component=component).inc()
+    elif kind == "degradation":
+        registry.counter(
+            DEGRADATIONS_METRIC,
+            "Graceful degradations to a fallback path after retries ran out.",
+        ).labels(component=component).inc()
+    elif kind in ("shed", "timeout"):
+        registry.counter(
+            SHED_METRIC,
+            "Requests shed or timed out instead of queueing, by reason.",
+        ).labels(reason=str(detail.get("reason", component))).inc()
+    log_event("resilience", level="warning", kind=kind,
+              component=component, **detail)
+    context = current()
+    if context is not None:
+        context.add(ResilienceEvent(kind, component, dict(detail)))

@@ -1,0 +1,59 @@
+"""Monotonic deadlines: one small type shared by server and supervisor.
+
+A :class:`Deadline` is an absolute point on the monotonic clock.  The
+pattern everywhere a budget must be split across sequential waits —
+"wait for the in-flight computation, but only for what's left of the
+request budget" — is::
+
+    deadline = Deadline.after(server.request_timeout)   # None -> None
+    ...
+    entry.wait(remaining_timeout(deadline, follower_timeout))
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Deadline:
+    """An absolute monotonic-clock deadline."""
+
+    __slots__ = ("at",)
+
+    def __init__(self, at: float) -> None:
+        self.at = float(at)
+
+    @classmethod
+    def after(cls, seconds: Optional[float]) -> Optional["Deadline"]:
+        """A deadline ``seconds`` from now, or ``None`` for no deadline."""
+        if seconds is None:
+            return None
+        return cls(time.monotonic() + float(seconds))
+
+    def remaining(self) -> float:
+        """Seconds left; negative once expired."""
+        return self.at - time.monotonic()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(in {self.remaining():.3f}s)"
+
+
+def remaining_timeout(deadline: Optional[Deadline],
+                      *limits: Optional[float]) -> Optional[float]:
+    """The tightest of a deadline's remaining budget and fixed limits.
+
+    Returns ``None`` only when every input is ``None`` (wait forever).
+    An expired deadline clamps to ``0.0`` so waits return immediately
+    rather than raising.
+    """
+    candidates = [limit for limit in limits if limit is not None]
+    if deadline is not None:
+        candidates.append(deadline.remaining())
+    if not candidates:
+        return None
+    return max(0.0, min(candidates))

@@ -1,0 +1,122 @@
+"""Retry/degrade policy for supervised components.
+
+Infrastructure role: the decision table consulted by
+:class:`repro.fsim.sharded.ShardedFaultSim` when a shard map fails or
+times out.  A :class:`RetryPolicy` is a frozen value object — how many
+attempts, how long each shard map may run, how the backoff grows, and
+whether exhausting retries degrades to the inline engine or raises.
+
+Environment knobs (read by :meth:`RetryPolicy.from_env`, which is the
+default policy for every engine that is not given one explicitly):
+
+``REPRO_FSIM_SHARD_TIMEOUT``
+    Per-attempt deadline in seconds for one sharded map.  ``0`` or
+    ``none`` disables the deadline (wait forever, the pre-resilience
+    behaviour).  Default: 300.
+``REPRO_FSIM_SHARD_RETRIES``
+    How many retries *after* the first attempt.  Default: 2
+    (three attempts total).  ``0`` fails fast.
+``REPRO_FSIM_SHARD_BACKOFF``
+    Base sleep in seconds before the first retry; doubles per retry.
+    Default: 0.05.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ResilienceError
+
+SHARD_TIMEOUT_ENV_VAR = "REPRO_FSIM_SHARD_TIMEOUT"
+SHARD_RETRIES_ENV_VAR = "REPRO_FSIM_SHARD_RETRIES"
+SHARD_BACKOFF_ENV_VAR = "REPRO_FSIM_SHARD_BACKOFF"
+
+DEFAULT_SHARD_TIMEOUT = 300.0
+DEFAULT_RETRIES = 2
+DEFAULT_BACKOFF = 0.05
+
+
+class PolicyConfigError(ResilienceError):
+    """A retry-policy environment knob failed to parse."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a supervised operation retries, backs off, and degrades."""
+
+    #: Total attempts (first try included).  Must be >= 1.
+    max_attempts: int = DEFAULT_RETRIES + 1
+    #: Sleep before the first retry; multiplied by ``backoff_factor``
+    #: for each subsequent retry.
+    backoff_seconds: float = DEFAULT_BACKOFF
+    backoff_factor: float = 2.0
+    #: Per-attempt deadline in seconds; ``None`` waits forever.
+    shard_timeout: Optional[float] = DEFAULT_SHARD_TIMEOUT
+    #: After the final attempt fails: fall back to the degraded path
+    #: (``True``) or raise the last error (``False``).
+    degrade: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise PolicyConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts!r}")
+        if self.backoff_seconds < 0 or self.backoff_factor < 1.0:
+            raise PolicyConfigError(
+                f"bad backoff: seconds={self.backoff_seconds!r} "
+                f"factor={self.backoff_factor!r}")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise PolicyConfigError(
+                f"shard_timeout must be positive or None, "
+                f"got {self.shard_timeout!r}")
+
+    def backoff(self, retry_index: int) -> float:
+        """Sleep before retry ``retry_index`` (0 = first retry)."""
+        return self.backoff_seconds * (self.backoff_factor ** retry_index)
+
+    @classmethod
+    def from_env(cls) -> "RetryPolicy":
+        """The default policy, with env-var overrides applied."""
+        timeout: Optional[float] = DEFAULT_SHARD_TIMEOUT
+        raw = os.environ.get(SHARD_TIMEOUT_ENV_VAR, "").strip()
+        if raw:
+            if raw.lower() in ("none", "off"):
+                timeout = None
+            else:
+                try:
+                    timeout = float(raw)
+                except ValueError:
+                    raise PolicyConfigError(
+                        f"{SHARD_TIMEOUT_ENV_VAR}={raw!r} is not a float") from None
+                if timeout <= 0:
+                    timeout = None
+        retries = DEFAULT_RETRIES
+        raw = os.environ.get(SHARD_RETRIES_ENV_VAR, "").strip()
+        if raw:
+            try:
+                retries = int(raw)
+            except ValueError:
+                raise PolicyConfigError(
+                    f"{SHARD_RETRIES_ENV_VAR}={raw!r} is not an integer") from None
+            if retries < 0:
+                raise PolicyConfigError(
+                    f"{SHARD_RETRIES_ENV_VAR} must be >= 0, got {retries}")
+        backoff = DEFAULT_BACKOFF
+        raw = os.environ.get(SHARD_BACKOFF_ENV_VAR, "").strip()
+        if raw:
+            try:
+                backoff = float(raw)
+            except ValueError:
+                raise PolicyConfigError(
+                    f"{SHARD_BACKOFF_ENV_VAR}={raw!r} is not a float") from None
+            if backoff < 0:
+                raise PolicyConfigError(
+                    f"{SHARD_BACKOFF_ENV_VAR} must be >= 0, got {backoff}")
+        return cls(max_attempts=retries + 1, backoff_seconds=backoff,
+                   shard_timeout=timeout)
+
+    @classmethod
+    def fail_fast(cls) -> "RetryPolicy":
+        """No retries, no degradation: the pre-resilience semantics."""
+        return cls(max_attempts=1, shard_timeout=None, degrade=False)

@@ -6,6 +6,11 @@ the shard, tears down the sibling workers, and leaks no processes; a
 ``KeyboardInterrupt`` — in the parent or inside a worker — likewise
 leaves no orphans.  Every test asserts the process census via
 ``multiprocessing.active_children()`` in teardown.
+
+Failure tests pin ``RetryPolicy.fail_fast()`` — the pre-supervision
+semantics (one attempt, raise, never degrade) — so they exercise the
+raw error path; the retry/degrade behaviour of the default policy is
+covered by ``tests/test_fsim_supervision.py``.
 """
 
 import gc
@@ -18,6 +23,7 @@ from repro.faults import collapsed_fault_list
 from repro.faults.model import Fault
 from repro.fsim import sharded
 from repro.fsim.sharded import ShardedFaultSim
+from repro.resilience import RetryPolicy
 from repro.sim.patterns import PatternSet
 
 from helpers import generated_circuit
@@ -47,6 +53,7 @@ def census():
 
 
 def _loaded_engine(circuit, **kwargs):
+    kwargs.setdefault("policy", RetryPolicy.fail_fast())
     engine = ShardedFaultSim(circuit, min_faults=1, **kwargs)
     engine.load(PatternSet.random(circuit.num_inputs, 64, seed=9))
     return engine
@@ -112,10 +119,10 @@ class TestParentInterrupt:
         real_pool = engine._ensure_pool()
         assert multiprocessing.active_children()  # workers are up
 
-        def interrupted_map(func, tasks):
+        def interrupted_map_async(func, tasks):
             raise KeyboardInterrupt
 
-        monkeypatch.setattr(real_pool, "map", interrupted_map)
+        monkeypatch.setattr(real_pool, "map_async", interrupted_map_async)
         with pytest.raises(KeyboardInterrupt):
             engine.detection_matrix(faults)
         assert engine._pool is None  # terminated, not merely closed
